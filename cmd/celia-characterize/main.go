@@ -1,0 +1,144 @@
+// Command celia-characterize reproduces the paper's characterization
+// artifacts: Figure 2 (application resource demand vs problem size and
+// accuracy, from fitted baseline measurements) and Figure 3 (cloud
+// resource normalized performance).
+//
+// Example:
+//
+//	celia-characterize -fig 2
+//	celia-characterize -fig 3 -per-category
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/profile"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("celia-characterize: ")
+	var (
+		fig         = flag.Int("fig", 2, "figure to regenerate: 2 (demand) or 3 (capacity)")
+		perCategory = flag.Bool("per-category", false, "fig 3: probe one type per category (§IV-C) instead of all nine")
+	)
+	flag.Parse()
+
+	pf := profile.New()
+	switch *fig {
+	case 2:
+		figure2(pf)
+	case 3:
+		figure3(pf, *perCategory)
+	default:
+		log.Fatalf("unknown figure %d", *fig)
+	}
+}
+
+// figure2 prints the fitted demand models and the paper's six panels.
+func figure2(pf *profile.Profiler) {
+	type panel struct {
+		app    string
+		byN    bool
+		fixedA []float64 // two fixed values of the other parameter
+		values []float64
+		label  string
+	}
+	panels := []panel{
+		{"x264", true, []float64{10, 20}, stats.Linspace(2, 32, 7), "(a) x264 - n"},
+		{"galaxy", true, []float64{1000, 2000}, []float64{8192, 16384, 32768, 65536}, "(b) galaxy - n"},
+		{"sand", true, []float64{0.04, 0.08}, []float64{1e6, 8e6, 16e6, 32e6, 64e6}, "(c) sand - n"},
+		{"x264", false, []float64{2, 4}, stats.Linspace(10, 50, 9), "(d) x264 - f"},
+		{"galaxy", false, []float64{8192, 16384}, stats.Linspace(1000, 8000, 8), "(e) galaxy - s"},
+		{"sand", false, []float64{8e6, 16e6}, stats.Linspace(0.01, 1, 10), "(f) sand - t"},
+	}
+
+	models := map[string]profile.DemandResult{}
+	for _, name := range cli.AppNames() {
+		app, err := cli.LookupApp(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dr, err := pf.CharacterizeDemand(app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		models[name] = dr
+		fmt.Printf("%-6s fit: family=%s R²=%.5f  %s\n", name, dr.Fit.Family, dr.Fit.Model.R2, dr.Fit.Model.Form())
+	}
+	fmt.Println()
+
+	for _, pn := range panels {
+		dr := models[pn.app]
+		chart := report.NewChart("Figure 2"+pn.label, varName(pn.app, pn.byN), "billion instructions")
+		for _, fixed := range pn.fixedA {
+			pts := profile.DemandCurve(dr.Fit.Model, pn.byN, fixed, pn.values)
+			var xs, ys []float64
+			for _, pt := range pts {
+				if pn.byN {
+					xs = append(xs, pt.P.N)
+				} else {
+					xs = append(xs, pt.P.A)
+				}
+				ys = append(ys, pt.D.Billions())
+			}
+			name := fmt.Sprintf("fixed=%g", fixed)
+			if err := chart.Add(report.Series{Name: name, X: xs, Y: ys}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println(chart.String())
+	}
+}
+
+func varName(app string, byN bool) string {
+	if byN {
+		return "n"
+	}
+	a, err := cli.LookupApp(app)
+	if err != nil {
+		return "a"
+	}
+	return a.AccuracyName()
+}
+
+// figure3 prints the normalized-performance table.
+func figure3(pf *profile.Profiler, perCategory bool) {
+	tb := report.NewTable("Figure 3: normalized performance (GI/s per $/h)",
+		"type", "x264", "galaxy", "sand", "probed")
+	apps := make([]workload.App, 0, 3)
+	for _, name := range []string{"x264", "galaxy", "sand"} {
+		app, err := cli.LookupApp(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		apps = append(apps, app)
+	}
+	cols := make([][]profile.TypeCharacterization, len(apps))
+	for i, app := range apps {
+		cr, err := pf.CharacterizeCapacity(app, perCategory)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cols[i] = cr.Types
+	}
+	for ti := 0; ti < pf.Catalog.Len(); ti++ {
+		probed := "-"
+		if cols[0][ti].Measured {
+			probed = "yes"
+		}
+		tb.AddRow(pf.Catalog.Type(ti).Name,
+			cols[0][ti].PerDollar/1e9, cols[1][ti].PerDollar/1e9, cols[2][ti].PerDollar/1e9, probed)
+	}
+	if _, err := tb.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npaper: flat within category; c4 ≈ 2x r3, m4 ≈ 1.5x r3 per dollar; galaxy c4 ≈ 26.2")
+}

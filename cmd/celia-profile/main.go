@@ -1,0 +1,82 @@
+// Command celia-profile runs the complete measurement pipeline for an
+// elastic application — scale-down baseline runs under (simulated)
+// perf, demand-model fitting, and per-category capacity probes on
+// (simulated) cloud instances — and persists the characterization as
+// JSON for later reuse by celia-server or the library's store package.
+//
+// Example:
+//
+//	celia-profile -app galaxy -o galaxy.celia.json
+//	celia-server -characterizations galaxy.celia.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/profile"
+	"repro/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("celia-profile: ")
+	var (
+		appName = flag.String("app", "galaxy", fmt.Sprintf("elastic application %v", cli.AppNames()))
+		out     = flag.String("o", "", "output file (default: <app>.celia.json)")
+		perType = flag.Bool("per-type", false, "probe every instance type instead of one per category (§IV-C off)")
+	)
+	flag.Parse()
+
+	app, err := cli.LookupApp(*appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = app.Name() + ".celia.json"
+	}
+
+	pf := profile.New()
+	log.Printf("measuring %s baseline grid (%d points) on the local server...",
+		app.Name(), len(app.BaselineGrid()))
+	dr, err := pf.CharacterizeDemand(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("fitted %s (R²=%.5f): %s", dr.Fit.Family, dr.Fit.Model.R2, dr.Fit.Model.Form())
+
+	log.Printf("probing cloud capacities (per-category optimization: %v)...", !*perType)
+	cr, err := pf.CharacterizeCapacity(app, !*perType)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tc := range cr.Types {
+		mark := " "
+		if tc.Measured {
+			mark = "*"
+		}
+		log.Printf("  %s %-11s %6.3f GIPS/vCPU  (%5.1f GI/s/$)",
+			mark, tc.Type.Name, tc.PerVCPU.GIPSValue(), tc.PerDollar/1e9)
+	}
+
+	c, err := store.FromResults(app, dr, cr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Save(f); err != nil {
+		_ = f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", path)
+}

@@ -1,0 +1,86 @@
+// Command celia-server exposes the CELIA engines over HTTP as a JSON
+// service (see internal/api for the endpoint contract).
+//
+// By default it serves ground-truth engines for all three paper
+// applications; with -characterization files it serves engines rebuilt
+// from persisted measurement results instead.
+//
+// Example:
+//
+//	celia-server -addr :8080
+//	curl -s localhost:8080/v1/apps
+//	curl -s -X POST localhost:8080/v1/mincost \
+//	  -d '{"app":"galaxy","n":65536,"a":8000,"deadline_hours":24}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/ec2"
+	"repro/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("celia-server: ")
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		chars = flag.String("characterizations", "", "comma-separated characterization JSON files (default: ground-truth engines for all apps)")
+		nodes = flag.Int("max-nodes", 5, "per-type node limit of the configuration space")
+	)
+	flag.Parse()
+
+	engines := map[string]*core.Engine{}
+	if *chars == "" {
+		for _, name := range cli.AppNames() {
+			app, err := cli.LookupApp(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			eng, err := cli.BuildEngine(app, false)
+			if err != nil {
+				log.Fatal(err)
+			}
+			engines[name] = eng
+		}
+	} else {
+		for _, path := range strings.Split(*chars, ",") {
+			f, err := os.Open(strings.TrimSpace(path))
+			if err != nil {
+				log.Fatal(err)
+			}
+			c, err := store.Load(f)
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			if err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+			eng, err := c.Engine(ec2.Oregon(), *nodes)
+			if err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+			engines[c.App] = eng
+		}
+	}
+
+	srv, err := api.NewServer(engines)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("serving %d engines on %s", len(engines), *addr)
+	log.Fatal(httpSrv.ListenAndServe())
+}

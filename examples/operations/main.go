@@ -1,0 +1,74 @@
+// Example operations: day-2 concerns after CELIA picked a
+// configuration. An operator compares three ways of running the same
+// nightly n-body job — the static model-chosen optimum, a reactive
+// autoscaler, and a mid-run migration after a deadline change — using
+// the library's related-work comparators.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps/galaxy"
+	"repro/internal/autoscale"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/migrate"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	engine := core.NewPaperEngine(galaxy.App{})
+	problem := workload.Params{N: 65536, A: 8000}
+	deadline := units.FromHours(24)
+	d, err := engine.Demand(problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Plan A: CELIA's static optimum.
+	static, ok, err := engine.MinCostForDeadline(problem, deadline)
+	if err != nil || !ok {
+		log.Fatalf("no feasible configuration: %v", err)
+	}
+	fmt.Printf("plan A — static optimum:     %v, %v (%.1f h)\n",
+		static.Config, static.Cost, static.Time.Hours())
+
+	// Plan B: a reactive deadline-driven autoscaler (Mao et al.).
+	tr, err := autoscale.Simulate(engine.Capacities(), engine.Space(), d, deadline,
+		autoscale.DefaultPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan B — reactive scaling:   $%.2f over %d epochs (met deadline: %v, premium %.1f%%)\n",
+		float64(tr.TotalCost), len(tr.Steps), tr.Finished,
+		autoscale.CompareStatic(tr, static.Cost))
+
+	// Plan C: the job launched on a mediocre cluster; six hours in the
+	// deadline is cut to 12 remaining hours. Should it migrate?
+	running := config.MustTuple(0, 0, 3, 0, 0, 2, 0, 0, 0)
+	doneFrac := 0.25
+	dec, err := migrate.Advise(engine.Capacities(), engine.Space(), migrate.State{
+		Current:           running,
+		RemainingDemand:   units.Instructions((1 - doneFrac) * float64(d)),
+		RemainingDeadline: units.FromHours(12),
+	}, migrate.DefaultOverheads())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan C — mid-run rescue:     on %v with 75%% left and 12 h remaining\n", running)
+	if dec.StayMeetsDeadline {
+		fmt.Printf("  staying finishes in %.1f h for %v\n", dec.StayTime.Hours(), dec.StayCost)
+	} else {
+		fmt.Printf("  staying misses the deadline (%.1f h needed)\n", dec.StayTime.Hours())
+	}
+	if dec.Migrate {
+		fmt.Printf("  advice: migrate to %v — %.1f h, %v including checkpoint/restore\n",
+			dec.Target, dec.MoveTime.Hours(), dec.MoveCost)
+	} else {
+		fmt.Println("  advice: stay put")
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: the smallest end-to-end use of CELIA. Pick an elastic
+// application, state a deadline and a budget, and get the cost-time
+// Pareto-optimal cloud configurations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps/galaxy"
+	"repro/internal/core"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The engine bundles three things: a demand model D(n,a), the
+	// per-type cloud capacities W_i, and the configuration space
+	// (Amazon EC2 Oregon, nine types, up to five nodes each).
+	engine := core.NewPaperEngine(galaxy.App{})
+
+	// An n-body simulation of 65,536 masses for 8,000 steps, to finish
+	// within 24 hours and $350 — the paper's Figure 4 scenario.
+	problem := workload.Params{N: 65536, A: 8000}
+	constraints := core.Constraints{
+		Deadline: units.FromHours(24),
+		Budget:   units.USD(350),
+	}
+
+	analysis, err := engine.Analyze(problem, constraints, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d of %d configurations meet the constraints.\n",
+		analysis.Feasible, analysis.Total)
+	fmt.Printf("%d of them are cost-time Pareto-optimal:\n\n", len(analysis.Frontier))
+	for _, f := range analysis.Frontier[:min(5, len(analysis.Frontier))] {
+		fmt.Printf("  %-22s  %6.1f h  %v\n", f.Config, f.Time.Hours(), f.Cost)
+	}
+
+	// Or ask directly for the cheapest configuration meeting the
+	// deadline…
+	cheapest, ok, err := engine.MinCostForDeadline(problem, constraints.Deadline)
+	if err != nil || !ok {
+		log.Fatalf("no feasible configuration: %v", err)
+	}
+	fmt.Printf("\ncheapest within 24 h: %v at %v (%.1f h)\n",
+		cheapest.Config, cheapest.Cost, cheapest.Time.Hours())
+
+	// …or the fastest one within the budget.
+	fastest, ok, err := engine.MinTimeForBudget(problem, constraints.Budget)
+	if err != nil || !ok {
+		log.Fatalf("no feasible configuration: %v", err)
+	}
+	fmt.Printf("fastest within $350:  %v at %v (%.1f h)\n",
+		fastest.Config, fastest.Cost, fastest.Time.Hours())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

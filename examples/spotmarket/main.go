@@ -1,0 +1,81 @@
+// Example spotmarket: a research group can tolerate some deadline risk
+// in exchange for spot-market discounts. This example composes three
+// layers of the library: CELIA's Pareto frontier (which configurations
+// are worth considering at all), the uncertainty analyzer (how much
+// headroom a configuration really has), and the spot evaluator (what
+// the discount and the interruption exposure are).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps/galaxy"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/spot"
+	"repro/internal/uncertainty"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	engine := core.NewPaperEngine(galaxy.App{})
+	problem := workload.Params{N: 65536, A: 8000}
+	deadline := units.FromHours(24)
+
+	an, err := engine.Analyze(problem,
+		core.Constraints{Deadline: deadline, Budget: 350}, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frontier: %d Pareto-optimal configurations\n\n", len(an.Frontier))
+
+	// Layer 2: robust choice under measurement uncertainty.
+	ua, err := uncertainty.NewAnalyzer(engine.Capacities(), uncertainty.DefaultSources())
+	if err != nil {
+		log.Fatal(err)
+	}
+	robust, ok, err := uncertainty.RobustMinCost(engine, ua, problem, deadline, 0.95)
+	if err != nil || !ok {
+		log.Fatalf("no robust configuration: %v", err)
+	}
+	fmt.Printf("robust on-demand pick (95%% confidence): %v\n", robust.Config)
+	fmt.Printf("  time  p05/p50/p95: %.1f / %.1f / %.1f h\n",
+		robust.TimeSeconds.P05/3600, robust.TimeSeconds.P50/3600, robust.TimeSeconds.P95/3600)
+	fmt.Printf("  cost  p05/p50/p95: $%.0f / $%.0f / $%.0f\n\n",
+		robust.CostUSD.P05, robust.CostUSD.P50, robust.CostUSD.P95)
+
+	// Layer 3: spot-market pricing of the frontier.
+	market, err := spot.NewMarket(engine.Capacities().Catalog(), spot.DefaultMarket(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := spot.NewEvaluator(market, engine.Capacities())
+	d, err := engine.Demand(problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	candidates := make([]config.Tuple, 0, len(an.Frontier))
+	for _, f := range an.Frontier {
+		candidates = append(candidates, f.Config)
+	}
+	for _, conf := range []float64{0.99, 0.9, 0.5} {
+		rec, err := ev.Recommend(d, candidates, deadline, conf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rec.UseSpot {
+			fmt.Printf("confidence %.2f: SPOT %v — E[cost] %v (%.0f%% below on-demand %v), E[interruptions] %.1f\n",
+				conf, rec.Spot.Config, rec.Spot.ExpectedSpotCost, rec.SavingPct,
+				rec.OnDemand.OnDemandCost, rec.Spot.Interruptions)
+		} else {
+			fmt.Printf("confidence %.2f: ON-DEMAND %v at %v — spot too risky at this confidence\n",
+				conf, rec.OnDemand.Config, rec.OnDemand.OnDemandCost)
+		}
+	}
+	fmt.Println("\nLower confidence unlocks bigger spot discounts — the risk/cost dial the")
+	fmt.Println("paper's on-demand-only scope leaves on the table.")
+}

@@ -1,0 +1,245 @@
+// Package api exposes the CELIA engine over HTTP as a small JSON
+// service, so non-Go clients (dashboards, schedulers, CI) can query
+// cost-time optimal configurations. One engine is mounted per
+// application; all handlers are read-only and safe for concurrent use.
+//
+//	GET  /v1/apps                    list mounted applications
+//	POST /v1/analyze                 full census + Pareto frontier
+//	POST /v1/mincost                 cheapest configuration for a deadline
+//	POST /v1/mintime                 fastest configuration within a budget
+//	POST /v1/maxaccuracy             largest feasible accuracy
+//	GET  /healthz                    liveness
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Server routes requests to per-application engines.
+type Server struct {
+	engines map[string]*core.Engine
+	mux     *http.ServeMux
+}
+
+// NewServer mounts the given engines. The map must not be mutated
+// afterwards.
+func NewServer(engines map[string]*core.Engine) (*Server, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("api: no engines to serve")
+	}
+	s := &Server{engines: engines, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/apps", s.handleApps)
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/mincost", s.handleMinCost)
+	s.mux.HandleFunc("POST /v1/mintime", s.handleMinTime)
+	s.mux.HandleFunc("POST /v1/maxaccuracy", s.handleMaxAccuracy)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Request is the common body of the query endpoints. Zero deadline or
+// budget means unconstrained.
+type Request struct {
+	App       string  `json:"app"`
+	N         float64 `json:"n"`
+	A         float64 `json:"a"`
+	DeadlineH float64 `json:"deadline_hours,omitempty"`
+	BudgetUSD float64 `json:"budget_usd,omitempty"`
+	// MaxFrontier caps frontier rows in analyze responses (default 100).
+	MaxFrontier int `json:"max_frontier,omitempty"`
+	// Confidence is unused today; reserved for robust queries.
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+// ConfigResult is one configuration with its prediction.
+type ConfigResult struct {
+	Config    []int   `json:"config"`
+	TimeHours float64 `json:"time_hours"`
+	CostUSD   float64 `json:"cost_usd"`
+}
+
+// AnalyzeResponse is the census result.
+type AnalyzeResponse struct {
+	App        string         `json:"app"`
+	Total      uint64         `json:"total_configurations"`
+	Feasible   uint64         `json:"feasible_configurations"`
+	Frontier   []ConfigResult `json:"pareto_frontier"`
+	CostLowUSD float64        `json:"frontier_cost_low_usd"`
+	CostHiUSD  float64        `json:"frontier_cost_high_usd"`
+}
+
+// OptimizeResponse answers mincost/mintime/maxaccuracy.
+type OptimizeResponse struct {
+	App      string        `json:"app"`
+	Feasible bool          `json:"feasible"`
+	Best     *ConfigResult `json:"best,omitempty"`
+	Accuracy float64       `json:"accuracy,omitempty"` // maxaccuracy only
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, _ *http.Request) {
+	names := make([]string, 0, len(s.engines))
+	for n := range s.engines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, map[string][]string{"apps": names})
+}
+
+// decode parses and validates the common request body.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request) (*core.Engine, Request, bool) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request body: %v", err)})
+		return nil, Request{}, false
+	}
+	eng, ok := s.engines[req.App]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{fmt.Sprintf("unknown app %q", req.App)})
+		return nil, Request{}, false
+	}
+	if req.DeadlineH < 0 || req.BudgetUSD < 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{"negative deadline or budget"})
+		return nil, Request{}, false
+	}
+	return eng, req, true
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	eng, req, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	an, err := eng.Analyze(workload.Params{N: req.N, A: req.A}, core.Constraints{
+		Deadline: units.FromHours(req.DeadlineH),
+		Budget:   units.USD(req.BudgetUSD),
+	}, core.Options{})
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{err.Error()})
+		return
+	}
+	maxRows := req.MaxFrontier
+	if maxRows <= 0 {
+		maxRows = 100
+	}
+	resp := AnalyzeResponse{App: req.App, Total: an.Total, Feasible: an.Feasible}
+	lo, hi, _ := an.CostSpan()
+	resp.CostLowUSD, resp.CostHiUSD = float64(lo), float64(hi)
+	for i, f := range an.Frontier {
+		if i >= maxRows {
+			break
+		}
+		resp.Frontier = append(resp.Frontier, ConfigResult{
+			Config:    f.Config.Counts(),
+			TimeHours: f.Time.Hours(),
+			CostUSD:   float64(f.Cost),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMinCost(w http.ResponseWriter, r *http.Request) {
+	eng, req, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	if req.DeadlineH == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{"mincost requires deadline_hours"})
+		return
+	}
+	pred, feasible, err := eng.MinCostForDeadline(workload.Params{N: req.N, A: req.A},
+		units.FromHours(req.DeadlineH))
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{err.Error()})
+		return
+	}
+	resp := OptimizeResponse{App: req.App, Feasible: feasible}
+	if feasible {
+		resp.Best = &ConfigResult{
+			Config:    pred.Config.Counts(),
+			TimeHours: pred.Time.Hours(),
+			CostUSD:   float64(pred.Cost),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMinTime(w http.ResponseWriter, r *http.Request) {
+	eng, req, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	if req.BudgetUSD == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{"mintime requires budget_usd"})
+		return
+	}
+	pred, feasible, err := eng.MinTimeForBudget(workload.Params{N: req.N, A: req.A},
+		units.USD(req.BudgetUSD))
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{err.Error()})
+		return
+	}
+	resp := OptimizeResponse{App: req.App, Feasible: feasible}
+	if feasible {
+		resp.Best = &ConfigResult{
+			Config:    pred.Config.Counts(),
+			TimeHours: pred.Time.Hours(),
+			CostUSD:   float64(pred.Cost),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMaxAccuracy(w http.ResponseWriter, r *http.Request) {
+	eng, req, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	if req.DeadlineH == 0 && req.BudgetUSD == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{"maxaccuracy requires a deadline or a budget"})
+		return
+	}
+	p, pred, feasible, err := eng.MaxAccuracy(req.N, core.Constraints{
+		Deadline: units.FromHours(req.DeadlineH),
+		Budget:   units.USD(req.BudgetUSD),
+	}, 1e-3)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{err.Error()})
+		return
+	}
+	resp := OptimizeResponse{App: req.App, Feasible: feasible}
+	if feasible {
+		resp.Accuracy = p.A
+		resp.Best = &ConfigResult{
+			Config:    pred.Config.Counts(),
+			TimeHours: pred.Time.Hours(),
+			CostUSD:   float64(pred.Cost),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

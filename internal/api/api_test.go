@@ -1,0 +1,205 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/apps/galaxy"
+	"repro/internal/apps/x264"
+	"repro/internal/core"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := NewServer(map[string]*core.Engine{
+		"galaxy": core.NewPaperEngine(galaxy.App{}),
+		"x264":   core.NewPaperEngine(x264.App{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body interface{}, out interface{}) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestNewServerRequiresEngines(t *testing.T) {
+	if _, err := NewServer(nil); err == nil {
+		t.Fatal("empty server accepted")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}
+
+func TestAppsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string][]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	apps := body["apps"]
+	if len(apps) != 2 || apps[0] != "galaxy" || apps[1] != "x264" {
+		t.Fatalf("apps = %v", apps)
+	}
+}
+
+func TestMinCostEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var resp OptimizeResponse
+	status := postJSON(t, ts.URL+"/v1/mincost", Request{
+		App: "galaxy", N: 65536, A: 8000, DeadlineH: 24,
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if !resp.Feasible || resp.Best == nil {
+		t.Fatalf("response = %+v", resp)
+	}
+	// The paper's spill configuration.
+	want := []int{5, 5, 5, 3, 0, 0, 0, 0, 0}
+	for i, c := range want {
+		if resp.Best.Config[i] != c {
+			t.Fatalf("config = %v, want %v", resp.Best.Config, want)
+		}
+	}
+	if resp.Best.TimeHours >= 24 || resp.Best.CostUSD <= 0 {
+		t.Fatalf("best = %+v", resp.Best)
+	}
+}
+
+func TestAnalyzeEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var resp AnalyzeResponse
+	status := postJSON(t, ts.URL+"/v1/analyze", Request{
+		App: "galaxy", N: 65536, A: 8000, DeadlineH: 24, BudgetUSD: 350, MaxFrontier: 5,
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if resp.Total != 10077695 || resp.Feasible == 0 {
+		t.Fatalf("census = %+v", resp)
+	}
+	if len(resp.Frontier) != 5 {
+		t.Fatalf("frontier rows = %d, want capped at 5", len(resp.Frontier))
+	}
+	if resp.CostLowUSD <= 0 || resp.CostHiUSD < resp.CostLowUSD {
+		t.Fatalf("cost span %v..%v", resp.CostLowUSD, resp.CostHiUSD)
+	}
+}
+
+func TestMinTimeEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var resp OptimizeResponse
+	status := postJSON(t, ts.URL+"/v1/mintime", Request{
+		App: "x264", N: 8000, A: 20, BudgetUSD: 50,
+	}, &resp)
+	if status != http.StatusOK || !resp.Feasible {
+		t.Fatalf("status %d, resp %+v", status, resp)
+	}
+	if resp.Best.CostUSD >= 50 {
+		t.Fatalf("budget violated: %+v", resp.Best)
+	}
+}
+
+func TestMaxAccuracyEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var resp OptimizeResponse
+	status := postJSON(t, ts.URL+"/v1/maxaccuracy", Request{
+		App: "galaxy", N: 65536, DeadlineH: 24, BudgetUSD: 150,
+	}, &resp)
+	if status != http.StatusOK || !resp.Feasible {
+		t.Fatalf("status %d, resp %+v", status, resp)
+	}
+	if resp.Accuracy <= 0 || resp.Best == nil {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		name   string
+		path   string
+		body   interface{}
+		status int
+	}{
+		{"unknown app", "/v1/mincost", Request{App: "blender", N: 1, A: 1, DeadlineH: 1}, http.StatusNotFound},
+		{"mincost no deadline", "/v1/mincost", Request{App: "galaxy", N: 65536, A: 8000}, http.StatusBadRequest},
+		{"mintime no budget", "/v1/mintime", Request{App: "galaxy", N: 65536, A: 8000}, http.StatusBadRequest},
+		{"maxaccuracy unconstrained", "/v1/maxaccuracy", Request{App: "galaxy", N: 65536}, http.StatusBadRequest},
+		{"out of domain", "/v1/mincost", Request{App: "galaxy", N: 1, A: 1, DeadlineH: 1}, http.StatusUnprocessableEntity},
+		{"negative deadline", "/v1/mincost", Request{App: "galaxy", N: 65536, A: 8000, DeadlineH: -1}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		var eb errorBody
+		status := postJSON(t, ts.URL+c.path, c.body, &eb)
+		if status != c.status {
+			t.Errorf("%s: status %d, want %d", c.name, status, c.status)
+		}
+		if eb.Error == "" {
+			t.Errorf("%s: no error message", c.name)
+		}
+	}
+}
+
+func TestRejectsUnknownFields(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/mincost", "application/json",
+		bytes.NewReader([]byte(`{"app":"galaxy","n":65536,"a":8000,"deadline_hours":24,"oops":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/mincost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on POST endpoint = %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,81 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ec2"
+)
+
+func TestCategoryIPCRatios(t *testing.T) {
+	// The per-dollar ratios of Figure 3 must hold exactly for any c4
+	// level: c4 : m4 : r3 = 2.0 : 1.5 : 1.0 instructions per second per
+	// dollar, evaluated on the large size of each category.
+	const c4IPC = 0.475
+	cat := ec2.Oregon()
+	perDollar := func(name string, ipc float64) float64 {
+		typ, ok := cat.Lookup(name)
+		if !ok {
+			t.Fatalf("missing type %s", name)
+		}
+		return float64(typ.VCPUs) * ipc * typ.BaseGHz * 1e9 / float64(typ.Price)
+	}
+	c4 := perDollar("c4.large", CategoryIPC(c4IPC, ec2.C4))
+	m4 := perDollar("m4.large", CategoryIPC(c4IPC, ec2.M4))
+	r3 := perDollar("r3.large", CategoryIPC(c4IPC, ec2.R3))
+	if got := c4 / r3; math.Abs(got-2.0) > 1e-6 {
+		t.Errorf("c4/r3 per-dollar = %v, want 2.0", got)
+	}
+	if got := m4 / r3; math.Abs(got-1.5) > 1e-6 {
+		t.Errorf("m4/r3 per-dollar = %v, want 1.5", got)
+	}
+}
+
+func TestCategoryIPCGalaxyLevel(t *testing.T) {
+	// Paper §IV-C: galaxy's c4 normalized performance is ~26.2 billion
+	// instructions per second per dollar.
+	typ, _ := ec2.Oregon().Lookup("c4.large")
+	ipc := CategoryIPC(0.475, ec2.C4)
+	perDollar := float64(typ.VCPUs) * ipc * typ.BaseGHz / float64(typ.Price) // GI/s/$
+	if math.Abs(perDollar-26.24) > 0.05 {
+		t.Fatalf("galaxy c4 normalized performance = %.2f GI/s/$, want ~26.24", perDollar)
+	}
+}
+
+func TestCategoryIPCUnknown(t *testing.T) {
+	if got := CategoryIPC(1.0, ec2.Category("gpu")); got != 0 {
+		t.Fatalf("CategoryIPC(unknown) = %v, want 0", got)
+	}
+}
+
+func TestHash01Range(t *testing.T) {
+	f := func(x uint64) bool {
+		v := Hash01(x)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHash01Deterministic(t *testing.T) {
+	if Hash01(42) != Hash01(42) {
+		t.Fatal("Hash01 not deterministic")
+	}
+	if Hash01(1) == Hash01(2) {
+		t.Fatal("Hash01(1) == Hash01(2); suspicious collision")
+	}
+}
+
+func TestHash01Spread(t *testing.T) {
+	// Mean of many hashes should be near 0.5.
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		sum += Hash01(uint64(i))
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Hash01 mean = %v, want ~0.5", mean)
+	}
+}

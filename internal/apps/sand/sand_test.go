@@ -1,0 +1,149 @@
+package sand
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ec2"
+	"repro/internal/perf"
+	"repro/internal/workload"
+)
+
+func TestDemandShape(t *testing.T) {
+	var a App
+	// Linear in n (Fig 2c).
+	d1 := float64(a.Demand(workload.Params{N: 1e6, A: 0.32}))
+	d2 := float64(a.Demand(workload.Params{N: 2e6, A: 0.32}))
+	if got := d2 / d1; math.Abs(got-2) > 1e-9 {
+		t.Fatalf("demand(2n)/demand(n) = %v, want 2", got)
+	}
+	// Logarithmic in t (Fig 2f): demand grows, but concavely — equal
+	// steps in t yield shrinking increments.
+	at := func(t float64) float64 { return float64(a.Demand(workload.Params{N: 1e6, A: t})) }
+	inc1 := at(0.4) - at(0.2)
+	inc2 := at(0.6) - at(0.4)
+	inc3 := at(0.8) - at(0.6)
+	if !(inc1 > inc2 && inc2 > inc3) || inc3 <= 0 {
+		t.Fatalf("increments %v, %v, %v not concave increasing (logarithmic)", inc1, inc2, inc3)
+	}
+}
+
+func TestSeqDemandLaw(t *testing.T) {
+	got := SeqDemand(0.32)
+	want := SeqBase + SeqLog*math.Log(1+LogScale*0.32)
+	if got != want {
+		t.Fatalf("SeqDemand(0.32) = %v, want %v", got, want)
+	}
+}
+
+func TestSandAccuracyCostRatio(t *testing.T) {
+	// Paper §IV-E2: improving sand's accuracy 1.6× (0.64 → 1.0) costs
+	// only ~20% more. Demand drives cost directly, so check the demand
+	// ratio is ~1.1-1.3.
+	ratio := SeqDemand(1.0) / SeqDemand(0.64)
+	if ratio < 1.05 || ratio > 1.35 {
+		t.Fatalf("demand(t=1)/demand(t=0.64) = %v, want ~1.2 (sub-linear accuracy cost)", ratio)
+	}
+}
+
+func TestRunBaselineAccountsDemandPlusSetup(t *testing.T) {
+	var a App
+	p := workload.Params{N: 0.25e6, A: 0.32}
+	acct := perf.NewAccount()
+	if err := a.RunBaseline(p, acct); err != nil {
+		t.Fatal(err)
+	}
+	want := float64(a.Demand(p)) + float64(Setup())
+	got := float64(acct.Total())
+	if math.Abs(got-want)/want > 1e-5 {
+		t.Fatalf("baseline accounted %v, want ~%v", got, want)
+	}
+}
+
+func TestRunBaselineRejectsFullScale(t *testing.T) {
+	var a App
+	if err := a.RunBaseline(workload.Params{N: 8192e6, A: 0.32}, perf.NewAccount()); err == nil {
+		t.Fatal("RunBaseline accepted a full-scale problem")
+	}
+}
+
+func TestPlanMasterWorker(t *testing.T) {
+	var a App
+	p := workload.Params{N: 1024e6, A: 0.32}
+	pl := a.Plan(p)
+	if pl.Kind != workload.MasterWorker {
+		t.Fatalf("plan kind = %v, want master-worker", pl.Kind)
+	}
+	if pl.Tasks != 1024 {
+		t.Fatalf("tasks = %d, want 1024 (1M candidates per task)", pl.Tasks)
+	}
+	if pl.DispatchInstr <= 0 {
+		t.Fatal("master-worker plan has no dispatch cost")
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := float64(pl.TotalInstr())
+	want := float64(a.Demand(p))
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Fatalf("plan total %v != demand %v", got, want)
+	}
+}
+
+func TestPlanSmallProblemFewerTasks(t *testing.T) {
+	var a App
+	pl := a.Plan(workload.Params{N: 10e3, A: 0.5})
+	if pl.Tasks >= MaxTasks {
+		t.Fatalf("small problem got %d tasks; batching should shrink", pl.Tasks)
+	}
+	if pl.Tasks <= 0 {
+		t.Fatal("no tasks")
+	}
+}
+
+func TestBandedOverlapIdentical(t *testing.T) {
+	s := []byte("ACGTACGTACGT")
+	best := bandedOverlap(s, s, 4)
+	// A perfect overlap scores 2 per base.
+	if best != 2*len(s) {
+		t.Fatalf("self-overlap score = %d, want %d", best, 2*len(s))
+	}
+}
+
+func TestBandedOverlapDisjoint(t *testing.T) {
+	a := []byte("AAAAAAAA")
+	b := []byte("CCCCCCCC")
+	if best := bandedOverlap(a, b, 4); best != 0 {
+		t.Fatalf("disjoint overlap score = %d, want 0 (local alignment floors at 0)", best)
+	}
+}
+
+func TestBandedOverlapBandLimits(t *testing.T) {
+	// A wider band can only improve (or preserve) the score.
+	a := []byte("ACGTTTACGTACGGTACT")
+	b := []byte("TTACGTACGGT")
+	narrow := bandedOverlap(a, b, 1)
+	wide := bandedOverlap(a, b, 8)
+	if wide < narrow {
+		t.Fatalf("wider band decreased score: %d -> %d", narrow, wide)
+	}
+}
+
+func TestIPCLevels(t *testing.T) {
+	var a App
+	if a.IPC(ec2.C4) != C4IPC {
+		t.Fatalf("c4 IPC = %v", a.IPC(ec2.C4))
+	}
+	if !(a.IPC(ec2.M4) > a.IPC(ec2.C4)) || !(a.IPC(ec2.C4) > a.IPC(ec2.R3)) {
+		t.Fatal("IPC category ordering violated")
+	}
+}
+
+func TestBaselineGridWithinEnvelope(t *testing.T) {
+	var a App
+	for _, p := range a.BaselineGrid() {
+		if err := a.Domain().CheckBaseline(p); err != nil {
+			t.Errorf("grid point %v outside envelope: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+// Package x264 implements the paper's video-compression elastic
+// application: n independent 75 MB video clips are encoded at a
+// compression factor f ∈ [1, 51], distributed as independent processes
+// with no inter-node communication. The compression factor is the
+// accuracy proxy: higher f buys more rate-distortion optimization.
+//
+// Resource demand is linear in n (clips are homogeneous) and quadratic
+// in f (the motion-search window grows with f in both dimensions) — the
+// paper's Figure 2(a)/(d) shapes.
+package x264
+
+import (
+	"math"
+
+	"repro/internal/apps"
+	"repro/internal/ec2"
+	"repro/internal/perf"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Ground-truth demand constants. A clip is ClipBytes of video processed
+// in 8×8 blocks of BlockBytes; each block costs a fixed transform/
+// quantization/entropy part plus a motion-search part quadratic in f.
+const (
+	ClipBytes     = 75e6
+	BlockBytes    = 192
+	BlocksPerClip = 390625 // ClipBytes / BlockBytes
+
+	// Retired instructions per block: BlockBase + BlockQuad·f².
+	// Per clip this yields 150.0e9 + 0.28e9·f².
+	BlockBase = 384000
+	BlockQuad = 716.8
+
+	// C4IPC: the encoder vectorizes well, so it retires the most
+	// instructions per cycle of the three applications.
+	C4IPC = 1.20
+
+	// Baseline-only startup: process launch, container parsing and
+	// buffer setup per clip. Retired by real runs, absent from D(n,f).
+	setupFixed   = 8e6
+	setupPerClip = 1.5e6
+
+	// The kernel executes this many representative blocks per clip for
+	// real (full DCT + motion SAD on synthetic pixels) while accounting
+	// every block of the clip at its calibrated cost.
+	kernelBlocksPerClip = 256
+)
+
+// ClipDemand is the per-clip demand D₁(f) in retired instructions.
+func ClipDemand(f float64) units.Instructions {
+	return units.Instructions(BlocksPerClip * (BlockBase + BlockQuad*f*f))
+}
+
+// App is the x264 elastic application. The zero value is ready to use.
+type App struct{}
+
+var _ workload.App = App{}
+
+// Name implements workload.App.
+func (App) Name() string { return "x264" }
+
+// AccuracyName reports the paper's symbol for the accuracy parameter.
+func (App) AccuracyName() string { return "f" }
+
+// Domain implements workload.App. The paper characterizes n ∈ [2, 32]
+// and f ∈ [10, 50] and validates with up to 32,000 clips; f's full
+// range is 1–51.
+func (App) Domain() workload.Domain {
+	return workload.Domain{
+		MinN: 1, MaxN: 1e6,
+		MinA: 1, MaxA: 51,
+		MaxBaselineN: 64, MaxBaselineA: 51,
+	}
+}
+
+// Demand implements workload.App: D(n,f) = n·D₁(f).
+func (App) Demand(p workload.Params) units.Instructions {
+	return units.Instructions(p.N * float64(ClipDemand(p.A)))
+}
+
+// Setup reports the baseline startup instructions for n clips.
+func Setup(n float64) units.Instructions {
+	return units.Instructions(setupFixed + setupPerClip*n)
+}
+
+// RunBaseline encodes ⌊n⌋ scale-down clips at factor f: for each clip it
+// runs the real transform and motion-search computation on a
+// representative sample of blocks and accounts the whole clip at the
+// calibrated per-block cost.
+func (a App) RunBaseline(p workload.Params, acct *perf.Account) error {
+	if err := a.Domain().CheckBaseline(p); err != nil {
+		return err
+	}
+	n := int(p.N)
+	f := p.A
+
+	acct.Add(perf.SetupOps, int64(float64(Setup(p.N))))
+	intc := acct.Class(perf.IntOps)
+
+	perBlock := int64(BlockBase + BlockQuad*f*f)
+	// Real SAD candidates executed per representative block; the full
+	// application evaluates ~2.8·f² candidates, we execute a capped
+	// sample and account the calibrated total.
+	cands := int(2.8 * f * f)
+	if cands > 64 {
+		cands = 64
+	}
+
+	var pix [64]float64
+	var coef [64]float64
+	var totalBits int
+	for clip := 0; clip < n; clip++ {
+		for b := 0; b < kernelBlocksPerClip; b++ {
+			seed := uint64(clip)<<32 | uint64(b)
+			for i := range pix {
+				pix[i] = apps.Hash01(seed*64 + uint64(i))
+			}
+			dct8x8(&pix, &coef)
+			var q [64]int
+			quantize(&coef, f, &q)
+			totalBits += entropyBits(&q)
+			var best float64 = 1e18
+			for c := 0; c < cands; c++ {
+				var sad float64
+				for i := range pix {
+					ref := apps.Hash01(seed*131 + uint64(c*64+i))
+					d := pix[i] - ref
+					if d < 0 {
+						d = -d
+					}
+					sad += d
+				}
+				if sad < best {
+					best = sad
+				}
+			}
+			apps.KeepAlive(coef[0] + best + float64(totalBits))
+		}
+		intc.Add(perBlock * BlocksPerClip)
+	}
+	return nil
+}
+
+// quantize divides the transform coefficients by a step that shrinks
+// as the compression factor grows: higher f spends more bits for
+// higher fidelity (the "accuracy" the paper's elastic application
+// trades resources for).
+func quantize(coef *[64]float64, f float64, out *[64]int) {
+	step := qStep(f)
+	for i, c := range coef {
+		out[i] = int(c / step)
+	}
+}
+
+// qStep maps the compression factor f ∈ [1, 51] to a quantization step
+// size, exponentially finer at higher f like H.264's QP ladder in
+// reverse.
+func qStep(f float64) float64 {
+	return 0.5 * math.Pow(2, (51-f)/6)
+}
+
+// entropyBits estimates the coded size of a quantized block with a
+// zigzag run-length + Exp-Golomb-style cost model: each nonzero
+// coefficient costs bits proportional to its magnitude's log, each run
+// of zeros a small prefix.
+func entropyBits(q *[64]int) int {
+	bits := 0
+	run := 0
+	for _, idx := range zigzag {
+		v := q[idx]
+		if v == 0 {
+			run++
+			continue
+		}
+		if v < 0 {
+			v = -v
+		}
+		// Run prefix + magnitude (Exp-Golomb-ish: 2⌊log2(v+1)⌋+1) +
+		// sign.
+		bits += runPrefixBits(run) + 2*intLog2(v+1) + 1 + 1
+		run = 0
+	}
+	if run > 0 {
+		bits += runPrefixBits(run) // end-of-block run
+	}
+	return bits
+}
+
+func runPrefixBits(run int) int { return intLog2(run+1)*2 + 1 }
+
+func intLog2(v int) int {
+	b := 0
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// zigzag is the standard 8×8 zigzag scan order.
+var zigzag = func() [64]int {
+	var order [64]int
+	i := 0
+	for s := 0; s < 15; s++ {
+		if s%2 == 0 { // up-right
+			for y := min8(s, 7); y >= 0 && s-y <= 7; y-- {
+				order[i] = y*8 + (s - y)
+				i++
+			}
+		} else { // down-left
+			for x := min8(s, 7); x >= 0 && s-x <= 7; x-- {
+				order[i] = (s-x)*8 + x
+				i++
+			}
+		}
+	}
+	return order
+}()
+
+func min8(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// dct8x8 applies a separable 8×8 discrete cosine transform — the real
+// computation at the heart of every block encode.
+func dct8x8(src, dst *[64]float64) {
+	var tmp [64]float64
+	for u := 0; u < 8; u++ {
+		for y := 0; y < 8; y++ {
+			var s float64
+			for x := 0; x < 8; x++ {
+				s += src[y*8+x] * dctBasis[u][x]
+			}
+			tmp[y*8+u] = s
+		}
+	}
+	for v := 0; v < 8; v++ {
+		for u := 0; u < 8; u++ {
+			var s float64
+			for y := 0; y < 8; y++ {
+				s += tmp[y*8+u] * dctBasis[v][y]
+			}
+			dst[v*8+u] = s
+		}
+	}
+}
+
+// dctBasis[u][x] = c(u)·cos((2x+1)uπ/16), precomputed.
+var dctBasis = func() [8][8]float64 {
+	var b [8][8]float64
+	for u := 0; u < 8; u++ {
+		c := 0.5
+		if u == 0 {
+			c = 0.35355339059327373 // 1/(2√2)
+		}
+		for x := 0; x < 8; x++ {
+			b[u][x] = c * math.Cos(float64((2*x+1)*u)*math.Pi/16)
+		}
+	}
+	return b
+}()
+
+// BaselineGrid implements workload.App: the paper's §IV-A scale-down
+// grid, n ∈ [2, 32] clips and f ∈ [10, 50].
+func (App) BaselineGrid() []workload.Params {
+	var grid []workload.Params
+	for _, n := range []float64{2, 4, 8, 16, 32} {
+		for _, f := range []float64{10, 20, 30, 40, 50} {
+			grid = append(grid, workload.Params{N: n, A: f})
+		}
+	}
+	return grid
+}
+
+// Plan implements workload.App. Encoding is embarrassingly parallel:
+// one independent task per clip, no communication.
+func (a App) Plan(p workload.Params) workload.Plan {
+	d := ClipDemand(p.A)
+	return workload.Plan{
+		Kind:      workload.Independent,
+		Tasks:     int(p.N),
+		TaskInstr: func(int) units.Instructions { return d },
+	}
+}
+
+// IPC implements workload.App.
+func (App) IPC(cat ec2.Category) float64 { return apps.CategoryIPC(C4IPC, cat) }

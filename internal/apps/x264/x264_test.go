@@ -1,0 +1,231 @@
+package x264
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+
+	"repro/internal/ec2"
+	"repro/internal/perf"
+	"repro/internal/workload"
+)
+
+func TestClipDemandCalibration(t *testing.T) {
+	// Per-clip demand is 150e9 + 0.28e9·f² by construction.
+	for _, f := range []float64{10, 20, 50} {
+		got := float64(ClipDemand(f))
+		want := 150e9 + 0.28e9*f*f
+		if math.Abs(got-want)/want > 1e-6 {
+			t.Errorf("ClipDemand(%v) = %v, want %v", f, got, want)
+		}
+	}
+}
+
+func TestDemandShape(t *testing.T) {
+	var a App
+	// Linear in n (Fig 2a).
+	d1 := float64(a.Demand(workload.Params{N: 8, A: 20}))
+	d2 := float64(a.Demand(workload.Params{N: 16, A: 20}))
+	if got := d2 / d1; math.Abs(got-2) > 1e-9 {
+		t.Fatalf("demand(2n)/demand(n) = %v, want 2", got)
+	}
+	// Quadratic in f (Fig 2d): second difference of D(f) is constant.
+	d10 := float64(a.Demand(workload.Params{N: 1, A: 10}))
+	d20 := float64(a.Demand(workload.Params{N: 1, A: 20}))
+	d30 := float64(a.Demand(workload.Params{N: 1, A: 30}))
+	d40 := float64(a.Demand(workload.Params{N: 1, A: 40}))
+	dd1 := d30 - 2*d20 + d10
+	dd2 := d40 - 2*d30 + d20
+	if math.Abs(dd1-dd2)/dd1 > 1e-6 {
+		t.Fatalf("second differences %v vs %v; f-dependence not quadratic", dd1, dd2)
+	}
+}
+
+func TestRunBaselineAccountsDemandPlusSetup(t *testing.T) {
+	var a App
+	p := workload.Params{N: 2, A: 20}
+	acct := perf.NewAccount()
+	if err := a.RunBaseline(p, acct); err != nil {
+		t.Fatal(err)
+	}
+	want := float64(a.Demand(p)) + float64(Setup(p.N))
+	got := float64(acct.Total())
+	// Per-block integer truncation loses < 1 instruction per block.
+	if math.Abs(got-want) > float64(p.N)*BlocksPerClip {
+		t.Fatalf("baseline accounted %v, want ~%v", got, want)
+	}
+	if math.Abs(got-want)/want > 1e-5 {
+		t.Fatalf("baseline accounting off by %v%%", math.Abs(got-want)/want*100)
+	}
+}
+
+func TestRunBaselineRejectsOutOfEnvelope(t *testing.T) {
+	var a App
+	if err := a.RunBaseline(workload.Params{N: 8000, A: 20}, perf.NewAccount()); err == nil {
+		t.Fatal("RunBaseline accepted full-scale n")
+	}
+	if err := a.RunBaseline(workload.Params{N: 2, A: 99}, perf.NewAccount()); err == nil {
+		t.Fatal("RunBaseline accepted f beyond 51")
+	}
+}
+
+func TestBaselineGridMatchesPaper(t *testing.T) {
+	var a App
+	grid := a.BaselineGrid()
+	if len(grid) != 25 {
+		t.Fatalf("grid size = %d, want 25 (5 sizes × 5 factors)", len(grid))
+	}
+	for _, p := range grid {
+		if p.N < 2 || p.N > 32 || p.A < 10 || p.A > 50 {
+			t.Errorf("grid point %v outside the paper's §IV-A ranges", p)
+		}
+		if err := a.Domain().CheckBaseline(p); err != nil {
+			t.Errorf("grid point %v outside envelope: %v", p, err)
+		}
+	}
+}
+
+func TestPlanIndependentPerClip(t *testing.T) {
+	var a App
+	p := workload.Params{N: 8000, A: 20}
+	pl := a.Plan(p)
+	if pl.Kind != workload.Independent {
+		t.Fatalf("plan kind = %v, want independent", pl.Kind)
+	}
+	if pl.Tasks != 8000 {
+		t.Fatalf("tasks = %d, want one per clip", pl.Tasks)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := float64(pl.TotalInstr())
+	want := float64(a.Demand(p))
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("plan total %v != demand %v", got, want)
+	}
+}
+
+func TestIPCLevels(t *testing.T) {
+	var a App
+	if a.IPC(ec2.C4) != C4IPC {
+		t.Fatalf("c4 IPC = %v, want %v", a.IPC(ec2.C4), C4IPC)
+	}
+	if !(a.IPC(ec2.M4) > a.IPC(ec2.C4)) || !(a.IPC(ec2.C4) > a.IPC(ec2.R3)) {
+		t.Fatal("IPC category ordering violated")
+	}
+}
+
+func TestDCTEnergyPreservation(t *testing.T) {
+	// The DCT is orthonormal: Parseval's identity must hold.
+	var src, dst [64]float64
+	for i := range src {
+		src[i] = float64(i%7) - 3
+	}
+	dct8x8(&src, &dst)
+	var eSrc, eDst float64
+	for i := range src {
+		eSrc += src[i] * src[i]
+		eDst += dst[i] * dst[i]
+	}
+	if math.Abs(eSrc-eDst)/eSrc > 1e-9 {
+		t.Fatalf("DCT not orthonormal: energy %v -> %v", eSrc, eDst)
+	}
+}
+
+func TestDCTDCComponent(t *testing.T) {
+	// A constant block transforms to a single DC coefficient of 8×mean.
+	var src, dst [64]float64
+	for i := range src {
+		src[i] = 2
+	}
+	dct8x8(&src, &dst)
+	if math.Abs(dst[0]-16) > 1e-9 {
+		t.Fatalf("DC coefficient = %v, want 16", dst[0])
+	}
+	for i := 1; i < 64; i++ {
+		if math.Abs(dst[i]) > 1e-9 {
+			t.Fatalf("AC coefficient %d = %v, want 0", i, dst[i])
+		}
+	}
+}
+
+func TestZigzagIsPermutation(t *testing.T) {
+	seen := map[int]bool{}
+	for _, idx := range zigzag {
+		if idx < 0 || idx > 63 || seen[idx] {
+			t.Fatalf("zigzag not a permutation: %v", zigzag)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != 64 {
+		t.Fatalf("zigzag covers %d cells", len(seen))
+	}
+	// The scan starts at DC and moves to (0,1).
+	if zigzag[0] != 0 || (zigzag[1] != 1 && zigzag[1] != 8) {
+		t.Fatalf("zigzag start = %v...", zigzag[:3])
+	}
+}
+
+func TestQuantizeFinerAtHigherF(t *testing.T) {
+	// Higher compression factor -> finer quantization -> more surviving
+	// coefficients for the same block.
+	var pix, coef [64]float64
+	for i := range pix {
+		pix[i] = apps.Hash01(uint64(i) * 977)
+	}
+	dct8x8(&pix, &coef)
+	nonzeros := func(f float64) int {
+		var q [64]int
+		quantize(&coef, f, &q)
+		nz := 0
+		for _, v := range q {
+			if v != 0 {
+				nz++
+			}
+		}
+		return nz
+	}
+	lo, hi := nonzeros(10), nonzeros(50)
+	if hi <= lo {
+		t.Fatalf("nonzeros at f=50 (%d) not above f=10 (%d)", hi, lo)
+	}
+}
+
+func TestEntropyBitsIncreaseWithF(t *testing.T) {
+	var pix, coef [64]float64
+	for i := range pix {
+		pix[i] = apps.Hash01(uint64(i)*31 + 5)
+	}
+	dct8x8(&pix, &coef)
+	bits := func(f float64) int {
+		var q [64]int
+		quantize(&coef, f, &q)
+		return entropyBits(&q)
+	}
+	b10, b30, b50 := bits(10), bits(30), bits(50)
+	if !(b10 <= b30 && b30 < b50) {
+		t.Fatalf("coded size not increasing with f: %d, %d, %d", b10, b30, b50)
+	}
+	if b10 <= 0 {
+		t.Fatalf("empty coded block at f=10: %d bits", b10)
+	}
+}
+
+func TestEntropyBitsZeroBlock(t *testing.T) {
+	var q [64]int
+	if got := entropyBits(&q); got <= 0 || got > 32 {
+		t.Fatalf("all-zero block costs %d bits, want a small positive EOB cost", got)
+	}
+}
+
+func TestQStepMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for f := 1.0; f <= 51; f++ {
+		s := qStep(f)
+		if s <= 0 || s >= prev {
+			t.Fatalf("qStep not strictly decreasing at f=%g: %g (prev %g)", f, s, prev)
+		}
+		prev = s
+	}
+}

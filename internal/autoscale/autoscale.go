@@ -1,0 +1,257 @@
+// Package autoscale implements a reactive deadline-driven autoscaler
+// in the style of Mao et al. [18, 19], the resource-elasticity
+// approach the paper's related work contrasts CELIA against: instead
+// of choosing a configuration up front from a model, the autoscaler
+// watches progress each epoch and grows or shrinks the cluster to hold
+// the projected finish time at the deadline.
+//
+// Simulating the policy on the same demand/capacity models lets the
+// evaluation quantify what reactive scaling costs relative to CELIA's
+// static optimum: ramp-up epochs run below the needed capacity and
+// must be bought back later at (possibly) worse efficiency.
+package autoscale
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+// Policy parameterizes the reactive loop.
+type Policy struct {
+	// Epoch is the decision interval.
+	Epoch units.Seconds
+	// Boot is how long a newly added node takes to start contributing
+	// capacity within its first epoch.
+	Boot units.Seconds
+	// Headroom is the safety factor applied to the remaining time when
+	// deciding whether capacity suffices (scale up when the projected
+	// finish exceeds Headroom × remaining).
+	Headroom float64
+	// ShrinkBelow triggers scale-down when the projected finish is
+	// under this fraction of the remaining time (0 disables shrinking).
+	ShrinkBelow float64
+	// MaxEpochs bounds the simulation.
+	MaxEpochs int
+}
+
+// DefaultPolicy mirrors common hourly autoscaling with a modest safety
+// margin.
+func DefaultPolicy() Policy {
+	return Policy{
+		Epoch:       units.FromHours(1),
+		Boot:        120,
+		Headroom:    0.95,
+		ShrinkBelow: 0.5,
+		MaxEpochs:   10000,
+	}
+}
+
+// Validate rejects broken policies.
+func (p Policy) Validate() error {
+	if p.Epoch <= 0 {
+		return fmt.Errorf("autoscale: non-positive epoch %v", p.Epoch)
+	}
+	if p.Boot < 0 || p.Boot > p.Epoch {
+		return fmt.Errorf("autoscale: boot %v outside [0, epoch]", p.Boot)
+	}
+	if p.Headroom <= 0 || p.Headroom > 1 {
+		return fmt.Errorf("autoscale: headroom %v outside (0, 1]", p.Headroom)
+	}
+	if p.ShrinkBelow < 0 || p.ShrinkBelow >= p.Headroom {
+		return fmt.Errorf("autoscale: shrink threshold %v must sit below headroom %v", p.ShrinkBelow, p.Headroom)
+	}
+	if p.MaxEpochs <= 0 {
+		return fmt.Errorf("autoscale: non-positive epoch bound")
+	}
+	return nil
+}
+
+// Step records one epoch of the trace.
+type Step struct {
+	At       units.Seconds
+	Config   config.Tuple
+	DoneFrac float64
+	Added    int // nodes added at this boundary (negative = removed)
+}
+
+// Trace is a full simulated execution.
+type Trace struct {
+	Steps      []Step
+	FinishTime units.Seconds
+	TotalCost  units.USD
+	Finished   bool // finished within the deadline
+}
+
+// Simulate runs the reactive policy against the analytic models,
+// starting from one node of the most cost-efficient type.
+func Simulate(caps *model.Capacities, space *config.Space, d units.Instructions,
+	deadline units.Seconds, pol Policy) (Trace, error) {
+	if err := pol.Validate(); err != nil {
+		return Trace{}, err
+	}
+	if d <= 0 || deadline <= 0 {
+		return Trace{}, fmt.Errorf("autoscale: non-positive demand or deadline")
+	}
+	w, nodeCost := caps.NodeArrays()
+	m := len(w)
+	// Efficiency order for scale decisions.
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := w[order[a]]/nodeCost[order[a]], w[order[b]]/nodeCost[order[b]]
+		if ea != eb {
+			return ea > eb
+		}
+		return order[a] < order[b]
+	})
+
+	counts := make([]int, m)
+	counts[order[0]] = 1
+	capacityOf := func() float64 {
+		var u float64
+		for i, c := range counts {
+			u += float64(c) * w[i]
+		}
+		return u
+	}
+	unitCostOf := func() float64 {
+		var cu float64
+		for i, c := range counts {
+			cu += float64(c) * nodeCost[i]
+		}
+		return cu
+	}
+
+	var tr Trace
+	remaining := float64(d)
+	now := 0.0
+	for epoch := 0; epoch < pol.MaxEpochs && remaining > 0; epoch++ {
+		if now >= float64(deadline) {
+			break
+		}
+		timeLeft := float64(deadline) - now
+		u := capacityOf()
+
+		// Reactive decision: scale up until the projection fits, then
+		// maybe shrink.
+		added := 0
+		for remaining/capacityOf() > pol.Headroom*timeLeft {
+			grew := false
+			for _, i := range order {
+				if counts[i] < space.Max(i) {
+					counts[i]++
+					added++
+					grew = true
+					break
+				}
+			}
+			if !grew {
+				break // cluster maxed out; run what we have
+			}
+		}
+		if added == 0 && pol.ShrinkBelow > 0 {
+			// Shrink one least-efficient node if still comfortably early.
+			for k := len(order) - 1; k >= 0; k-- {
+				i := order[k]
+				if counts[i] == 0 {
+					continue
+				}
+				uWithout := capacityOf() - w[i]
+				if uWithout > 0 && remaining/uWithout < pol.ShrinkBelow*timeLeft {
+					counts[i]--
+					added--
+				}
+				break
+			}
+		}
+
+		tuple, err := config.NewTuple(counts)
+		if err != nil {
+			return Trace{}, err
+		}
+		tr.Steps = append(tr.Steps, Step{
+			At:       units.Seconds(now),
+			Config:   tuple,
+			DoneFrac: 1 - remaining/float64(d),
+			Added:    added,
+		})
+
+		// Execute the epoch: newly added nodes boot first.
+		u = capacityOf()
+		effEpoch := float64(pol.Epoch)
+		work := u * effEpoch
+		if added > 0 {
+			var addedCap float64
+			// The nodes added this boundary are the first `added` in
+			// efficiency order with counts raised; approximate their
+			// capacity as the capacity delta of this boundary.
+			addedCap = u - prevCapacity(w, tr)
+			if addedCap < 0 {
+				addedCap = 0
+			}
+			work -= addedCap * float64(pol.Boot)
+		}
+		epochTime := effEpoch
+		if work >= remaining {
+			// Finishes mid-epoch.
+			// Solve the boot-adjusted completion time.
+			epochTime = timeToFinish(remaining, u, added, w, tr, pol)
+			remaining = 0
+		} else {
+			remaining -= work
+		}
+		tr.TotalCost += units.USD(unitCostOf() / 3600 * epochTime)
+		now += epochTime
+	}
+	tr.FinishTime = units.Seconds(now)
+	tr.Finished = remaining <= 0 && now <= float64(deadline)
+	return tr, nil
+}
+
+// prevCapacity reports the capacity of the configuration before this
+// boundary's additions (the previous step's tuple).
+func prevCapacity(w []float64, tr Trace) float64 {
+	if len(tr.Steps) < 2 {
+		return 0
+	}
+	prev := tr.Steps[len(tr.Steps)-2].Config
+	var u float64
+	for i := 0; i < prev.Len(); i++ {
+		u += float64(prev.Count(i)) * w[i]
+	}
+	return u
+}
+
+// timeToFinish solves for the within-epoch completion time given that
+// freshly added capacity only contributes after boot.
+func timeToFinish(remaining, u float64, added int, w []float64, tr Trace, pol Policy) float64 {
+	if added <= 0 {
+		return remaining / u
+	}
+	uOld := prevCapacity(w, tr)
+	boot := float64(pol.Boot)
+	// Phase 1: only the old capacity runs.
+	if remaining <= uOld*boot {
+		if uOld <= 0 {
+			return boot + remaining/u
+		}
+		return remaining / uOld
+	}
+	return boot + (remaining-uOld*boot)/u
+}
+
+// CompareStatic reports the autoscaler's cost premium over a static
+// optimal configuration's cost, in percent.
+func CompareStatic(tr Trace, static units.USD) float64 {
+	if static <= 0 {
+		return math.NaN()
+	}
+	return (float64(tr.TotalCost)/float64(static) - 1) * 100
+}

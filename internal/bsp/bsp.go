@@ -1,0 +1,111 @@
+// Package bsp is a small bulk-synchronous-parallel runtime: a fixed
+// gang of ranks executes a sequence of supersteps separated by
+// barriers, the execution model of the paper's MPI n-body application.
+// The galaxy kernel runs its real baseline integration on it, so the
+// measured baselines exercise the same rank/barrier structure the
+// cloud simulator schedules at full scale.
+package bsp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Barrier is a reusable cyclic barrier for a fixed party count.
+type Barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	round uint64
+}
+
+// NewBarrier creates a barrier for n parties (n ≥ 1).
+func NewBarrier(n int) (*Barrier, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("bsp: barrier party count %d", n)
+	}
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b, nil
+}
+
+// Await blocks until all n parties have called Await for the current
+// round, then releases them together.
+func (b *Barrier) Await() {
+	b.mu.Lock()
+	round := b.round
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.round++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for round == b.round {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Run executes steps supersteps over a gang of `ranks` goroutines. In
+// every superstep each rank runs fn(rank, step) exactly once; a global
+// barrier separates consecutive supersteps, so writes made in step s
+// are visible to every rank in step s+1 (the barrier's lock ordering
+// provides the happens-before edge).
+func Run(ranks, steps int, fn func(rank, step int)) error {
+	if ranks <= 0 {
+		return fmt.Errorf("bsp: %d ranks", ranks)
+	}
+	if steps < 0 {
+		return fmt.Errorf("bsp: %d steps", steps)
+	}
+	if fn == nil {
+		return fmt.Errorf("bsp: nil step function")
+	}
+	if steps == 0 {
+		return nil
+	}
+	bar, err := NewBarrier(ranks)
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for s := 0; s < steps; s++ {
+				fn(rank, s)
+				bar.Await()
+			}
+		}(r)
+	}
+	wg.Wait()
+	return nil
+}
+
+// Split partitions [0, n) into `parts` contiguous ranges as evenly as
+// possible; part p owns [Split(n, parts, p)). Useful for block
+// decomposition of loop ranges across ranks.
+func Split(n, parts, p int) (lo, hi int) {
+	if parts <= 0 || p < 0 || p >= parts {
+		return 0, 0
+	}
+	base := n / parts
+	rem := n % parts
+	lo = p*base + min(p, rem)
+	hi = lo + base
+	if p < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

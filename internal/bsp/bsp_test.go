@@ -1,0 +1,139 @@
+package bsp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesEveryRankStep(t *testing.T) {
+	const ranks, steps = 7, 11
+	var calls [ranks][steps]atomic.Int32
+	err := Run(ranks, steps, func(r, s int) {
+		calls[r][s].Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < ranks; r++ {
+		for s := 0; s < steps; s++ {
+			if got := calls[r][s].Load(); got != 1 {
+				t.Fatalf("rank %d step %d ran %d times", r, s, got)
+			}
+		}
+	}
+}
+
+func TestBarrierSeparatesSteps(t *testing.T) {
+	// No rank may enter step s+1 before every rank finished step s:
+	// track a per-step completion counter and assert entry sees the
+	// previous step complete.
+	const ranks, steps = 8, 20
+	var done [steps]atomic.Int32
+	violated := atomic.Bool{}
+	err := Run(ranks, steps, func(r, s int) {
+		if s > 0 && done[s-1].Load() != ranks {
+			violated.Store(true)
+		}
+		done[s].Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated.Load() {
+		t.Fatal("a rank entered step s+1 before step s completed everywhere")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := Run(0, 1, func(int, int) {}); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	if err := Run(1, -1, func(int, int) {}); err == nil {
+		t.Fatal("negative steps accepted")
+	}
+	if err := Run(1, 1, nil); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+	if err := Run(3, 0, func(int, int) {}); err != nil {
+		t.Fatalf("zero steps should be a no-op: %v", err)
+	}
+}
+
+func TestBarrierReuse(t *testing.T) {
+	b, err := NewBarrier(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var passed atomic.Int32
+	const rounds = 50
+	doneCh := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		go func() {
+			for i := 0; i < rounds; i++ {
+				b.Await()
+				passed.Add(1)
+			}
+			doneCh <- struct{}{}
+		}()
+	}
+	for g := 0; g < 3; g++ {
+		<-doneCh
+	}
+	if got := passed.Load(); got != 3*rounds {
+		t.Fatalf("passed = %d, want %d", got, 3*rounds)
+	}
+}
+
+func TestNewBarrierValidation(t *testing.T) {
+	if _, err := NewBarrier(0); err == nil {
+		t.Fatal("zero parties accepted")
+	}
+}
+
+func TestSplitCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 101} {
+		for _, parts := range []int{1, 2, 3, 8} {
+			covered := 0
+			prevHi := 0
+			for p := 0; p < parts; p++ {
+				lo, hi := Split(n, parts, p)
+				if lo != prevHi {
+					t.Fatalf("n=%d parts=%d p=%d: gap (lo %d, prev hi %d)", n, parts, p, lo, prevHi)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d parts=%d p=%d: inverted range", n, parts, p)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != n || prevHi != n {
+				t.Fatalf("n=%d parts=%d: covered %d ending at %d", n, parts, covered, prevHi)
+			}
+		}
+	}
+}
+
+func TestSplitBalance(t *testing.T) {
+	// Ranges differ by at most one element.
+	for p := 0; p < 8; p++ {
+		lo, hi := Split(100, 8, p)
+		if sz := hi - lo; sz < 12 || sz > 13 {
+			t.Fatalf("part %d has %d elements", p, sz)
+		}
+	}
+}
+
+func TestSplitDegenerate(t *testing.T) {
+	if lo, hi := Split(10, 0, 0); lo != 0 || hi != 0 {
+		t.Fatal("zero parts should yield empty range")
+	}
+	if lo, hi := Split(10, 3, 5); lo != 0 || hi != 0 {
+		t.Fatal("out-of-range part should yield empty range")
+	}
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	if err := Run(4, b.N, func(int, int) {}); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+// Package cli holds helpers shared by the command-line tools: app
+// registry lookup and engine assembly from either ground-truth or
+// measured characterizations.
+package cli
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/apps/galaxy"
+	"repro/internal/apps/sand"
+	"repro/internal/apps/x264"
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/workload"
+)
+
+// Apps returns the registry of the paper's three elastic applications.
+func Apps() map[string]workload.App {
+	return map[string]workload.App{
+		"x264":   x264.App{},
+		"galaxy": galaxy.App{},
+		"sand":   sand.App{},
+	}
+}
+
+// AppNames returns the registry keys, sorted.
+func AppNames() []string {
+	m := Apps()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupApp resolves an app by name.
+func LookupApp(name string) (workload.App, error) {
+	app, ok := Apps()[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown application %q (have %v)", name, AppNames())
+	}
+	return app, nil
+}
+
+// BuildEngine assembles an engine. With measured true it runs the full
+// profiling pipeline (baseline runs, fitting, capacity measurement);
+// otherwise it uses the simulated world's ground truth — useful for
+// fast model-based analysis, and what the paper's Figures 4–6 are.
+func BuildEngine(app workload.App, measured bool) (*core.Engine, error) {
+	if !measured {
+		return core.NewPaperEngine(app), nil
+	}
+	eng, _, _, err := profile.New().BuildEngine(app)
+	return eng, err
+}

@@ -1,0 +1,466 @@
+// Package cloudsim is the cloud execution substrate: a discrete-event
+// simulator of running an elastic application's full-scale workload on
+// a cluster provisioned from a configuration tuple. It plays the role
+// Amazon EC2 plays in the paper — both for baseline capacity
+// characterization (timed scale-down runs on single instances, §IV-B)
+// and for the "Actual" column of the Table IV validation.
+//
+// The simulator deliberately includes effects the analytical model
+// (Eq. 2–6) abstracts away, because those effects are what the paper's
+// validation error consists of:
+//
+//   - application startup on the cluster (MPI init, input staging),
+//     which contaminates short baseline runs and amortizes at scale;
+//   - per-instance performance jitter from processor sharing [26];
+//   - BSP barrier synchronization and per-step exchanges (galaxy);
+//   - serialized master dispatch and input shipping for work-queue
+//     applications (sand);
+//   - task-granularity tail imbalance on heterogeneous clusters;
+//   - billing from provisioning (boot included) to teardown.
+package cloudsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/config"
+	"repro/internal/des"
+	"repro/internal/ec2"
+	"repro/internal/units"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// Network models the cluster interconnect (paper-era EC2: ~1 Gb/s
+// class links with virtualization-inflated latency).
+type Network struct {
+	LatencySec  float64
+	BytesPerSec float64
+}
+
+// DefaultNetwork returns the stock interconnect.
+func DefaultNetwork() Network { return Network{LatencySec: 2e-3, BytesPerSec: 125e6} }
+
+// Options configure a run.
+type Options struct {
+	Seed    uint64
+	Boot    units.Seconds // VM provisioning latency (billed, not timed)
+	Network Network
+	// Startup overrides the per-application fixed startup; nil uses
+	// AppStartup's defaults.
+	Startup map[string]units.Seconds
+
+	// Stragglers maps instance indices (provisioning order) to
+	// slowdown factors > 1, modeling oversubscribed hosts.
+	Stragglers map[int]float64
+
+	// Failure injection: when FailAt > 0, instance FailInstance is
+	// terminated at that time (measured from application launch). Its
+	// in-flight tasks are re-dispatched to surviving workers.
+	// Independent plans tolerate the failure; gang-scheduled BSP and
+	// master-anchored work-queue plans abort with an error, matching
+	// the fault model of the paper's applications.
+	FailInstance int
+	FailAt       units.Seconds
+}
+
+// AppStartup reports the default application startup time on the
+// cluster: x264 stages its codec and input pipeline, galaxy runs MPI
+// initialization, sand's lightweight master boots almost instantly.
+func AppStartup(appName string) units.Seconds {
+	switch appName {
+	case "x264":
+		return 25
+	case "galaxy":
+		return 0.75
+	case "sand":
+		return 0.2
+	default:
+		return 1
+	}
+}
+
+// NetworkCPUOverhead reports the fraction of vCPU capacity lost to
+// virtualized network processing when the application spans multiple
+// instances (Wang & Ng [26]: packet processing on EC2 guests steals
+// guest CPU). Single-instance runs — including all baseline
+// characterization runs — are unaffected, which is why the analytic
+// model, fed with single-instance measurements, under-predicts
+// communication-heavy applications at scale (Table IV: sand).
+func NetworkCPUOverhead(appName string) float64 {
+	switch appName {
+	case "x264":
+		return 0 // no inter-node communication at all
+	case "galaxy":
+		return 0.01 // bulk synchronous: few large messages
+	case "sand":
+		return 0.08 // chatty work-queue RPC: many small messages
+	default:
+		return 0.02
+	}
+}
+
+// DefaultOptions returns the standard run configuration.
+func DefaultOptions() Options {
+	return Options{Seed: 1, Boot: 45, Network: DefaultNetwork()}
+}
+
+func (o Options) startup(appName string) units.Seconds {
+	if o.Startup != nil {
+		if s, ok := o.Startup[appName]; ok {
+			return s
+		}
+	}
+	return AppStartup(appName)
+}
+
+// Result reports one simulated run.
+type Result struct {
+	Makespan  units.Seconds // application launch → completion (what a user times)
+	Cost      units.USD     // billed: boot through completion, all instances
+	Instances int
+	VCPUs     int
+	Tasks     int
+	Events    uint64
+}
+
+// Run executes the application's plan for p on a cluster provisioned
+// per the tuple.
+func Run(app workload.App, p workload.Params, tuple config.Tuple, cat *ec2.Catalog, opts Options) (Result, error) {
+	if tuple.Len() != cat.Len() {
+		return Result{}, fmt.Errorf("cloudsim: tuple arity %d vs catalog %d", tuple.Len(), cat.Len())
+	}
+	if tuple.IsEmpty() {
+		return Result{}, fmt.Errorf("cloudsim: empty configuration")
+	}
+	plan := app.Plan(p)
+	if err := plan.Validate(); err != nil {
+		return Result{}, err
+	}
+	cluster := provision(tuple, cat, app, opts)
+	startup := opts.startup(app.Name())
+	failing := opts.FailAt > 0
+	if failing && (opts.FailInstance < 0 || opts.FailInstance >= len(cluster)) {
+		return Result{}, fmt.Errorf("cloudsim: fail instance %d outside cluster of %d", opts.FailInstance, len(cluster))
+	}
+
+	var sim des.Sim
+	var span units.Seconds
+	var tasks int
+	switch plan.Kind {
+	case workload.Independent:
+		span, tasks = runIndependent(&sim, cluster, app.Name(), plan, startup, opts)
+	case workload.BSP:
+		if failing {
+			return Result{}, fmt.Errorf("cloudsim: gang-scheduled BSP job aborts on instance failure")
+		}
+		span, tasks = runBSP(&sim, cluster, app.Name(), plan, startup, opts.Network)
+	case workload.MasterWorker:
+		if failing {
+			return Result{}, fmt.Errorf("cloudsim: work-queue job aborts when an instance fails (master-anchored)")
+		}
+		span, tasks = runMasterWorker(&sim, cluster, app.Name(), plan, startup, opts.Network)
+	default:
+		return Result{}, fmt.Errorf("cloudsim: unknown plan kind %v", plan.Kind)
+	}
+
+	res := Result{
+		Makespan:  span,
+		Instances: len(cluster),
+		Tasks:     tasks,
+		Events:    sim.Events(),
+	}
+	for i, in := range cluster {
+		res.VCPUs += in.Type.VCPUs
+		billed := span
+		if failing && i == opts.FailInstance && opts.FailAt < span {
+			billed = opts.FailAt // terminated instances stop billing
+		}
+		res.Cost += in.Type.Price.Over(opts.Boot + billed)
+	}
+	return res, nil
+}
+
+// provision builds the cluster's instance list in tuple order.
+func provision(tuple config.Tuple, cat *ec2.Catalog, app workload.App, opts Options) []vm.Instance {
+	var out []vm.Instance
+	id := 0
+	for i := 0; i < tuple.Len(); i++ {
+		typ := cat.Type(i)
+		for k := 0; k < tuple.Count(i); k++ {
+			in := vm.Provision(id, typ, app, opts.Seed, opts.Boot)
+			if f, ok := opts.Stragglers[id]; ok {
+				in = in.Slowed(f)
+			}
+			out = append(out, in)
+			id++
+		}
+	}
+	return out
+}
+
+// vcpuRef identifies one vCPU of one instance.
+type vcpuRef struct {
+	inst int
+	rate units.Rate
+}
+
+// clusterVCPUs flattens the cluster into per-vCPU workers. When the
+// application spans multiple instances, every vCPU loses the
+// application's network-processing fraction.
+func clusterVCPUs(cluster []vm.Instance, appName string) []vcpuRef {
+	factor := 1.0
+	if len(cluster) > 1 {
+		factor = 1 - NetworkCPUOverhead(appName)
+	}
+	var out []vcpuRef
+	for i, in := range cluster {
+		for v := 0; v < in.Type.VCPUs; v++ {
+			out = append(out, vcpuRef{inst: i, rate: in.PerVCPURate() * units.Rate(factor)})
+		}
+	}
+	return out
+}
+
+// runIndependent schedules plan.Tasks independent tasks onto all vCPUs
+// via greedy pull (x264's clip farm). Independent tasks tolerate
+// instance failure: in-flight work of a failed instance is
+// re-dispatched from scratch to surviving workers.
+func runIndependent(sim *des.Sim, cluster []vm.Instance, appName string, plan workload.Plan, startup units.Seconds, opts Options) (units.Seconds, int) {
+	vcpus := clusterVCPUs(cluster, appName)
+	next := 0
+	retry := []int{}
+	dead := make([]bool, len(vcpus))
+	gen := make([]int, len(vcpus))
+	current := make([]int, len(vcpus))
+	for i := range current {
+		current[i] = -1
+	}
+	var finish units.Seconds
+
+	take := func() (int, bool) {
+		if len(retry) > 0 {
+			t := retry[len(retry)-1]
+			retry = retry[:len(retry)-1]
+			return t, true
+		}
+		if next < plan.Tasks {
+			t := next
+			next++
+			return t, true
+		}
+		return -1, false
+	}
+	started := false
+	var pull func(w int)
+	pull = func(w int) {
+		if dead[w] || !started || current[w] >= 0 {
+			return
+		}
+		task, ok := take()
+		if !ok {
+			current[w] = -1
+			return
+		}
+		current[w] = task
+		myGen := gen[w]
+		dur := units.Time(plan.TaskInstr(task), vcpus[w].rate)
+		sim.Schedule(dur, func() {
+			if gen[w] != myGen {
+				return // completion from before this worker's failure
+			}
+			current[w] = -1
+			if sim.Now() > finish {
+				finish = sim.Now()
+			}
+			pull(w)
+		})
+	}
+	sim.At(startup, func() {
+		started = true
+		for w := range vcpus {
+			pull(w)
+		}
+	})
+	if opts.FailAt > 0 {
+		sim.At(opts.FailAt, func() {
+			for w := range vcpus {
+				if vcpus[w].inst != opts.FailInstance {
+					continue
+				}
+				dead[w] = true
+				gen[w]++
+				if current[w] >= 0 {
+					retry = append(retry, current[w])
+					current[w] = -1
+				}
+			}
+			// Wake idle survivors for the re-dispatched work.
+			for w := range vcpus {
+				if !dead[w] && current[w] < 0 {
+					pull(w)
+				}
+			}
+		})
+	}
+	sim.Run()
+	if finish < startup {
+		finish = startup
+	}
+	return finish, plan.Tasks
+}
+
+// runBSP executes plan.Steps bulk-synchronous steps (galaxy): elements
+// are partitioned across ranks (one per vCPU) proportionally to rank
+// speed, each step ends at the slowest rank plus the exchange.
+func runBSP(sim *des.Sim, cluster []vm.Instance, appName string, plan workload.Plan, startup units.Seconds, net Network) (units.Seconds, int) {
+	vcpus := clusterVCPUs(cluster, appName)
+	share := partitionProportional(plan.Elements, vcpus)
+	// The step's compute phase ends at the slowest rank.
+	var slowest units.Seconds
+	for r, elems := range share {
+		t := units.Time(units.Instructions(float64(elems)*float64(plan.InstrPerElement)), vcpus[r].rate)
+		if t > slowest {
+			slowest = t
+		}
+	}
+	var comm units.Seconds
+	if len(cluster) > 1 {
+		comm = units.Seconds(net.LatencySec + plan.CommBytesPerStep/net.BytesPerSec)
+	}
+	var finish units.Seconds
+	step := 0
+	var barrier func()
+	barrier = func() {
+		if step >= plan.Steps {
+			finish = sim.Now()
+			return
+		}
+		step++
+		sim.Schedule(slowest+comm, barrier)
+	}
+	sim.At(startup, barrier)
+	sim.Run()
+	return finish, plan.Steps
+}
+
+// partitionProportional splits n elements across ranks proportionally
+// to their rates using largest-remainder rounding.
+func partitionProportional(n int, vcpus []vcpuRef) []int {
+	var total float64
+	for _, v := range vcpus {
+		total += float64(v.rate)
+	}
+	share := make([]int, len(vcpus))
+	type frac struct {
+		idx int
+		f   float64
+	}
+	fracs := make([]frac, len(vcpus))
+	assigned := 0
+	for i, v := range vcpus {
+		exact := float64(n) * float64(v.rate) / total
+		share[i] = int(math.Floor(exact))
+		assigned += share[i]
+		fracs[i] = frac{i, exact - math.Floor(exact)}
+	}
+	// Hand out the remainder to the largest fractional parts
+	// (deterministic tie-break by index).
+	for rem := n - assigned; rem > 0; rem-- {
+		best := -1
+		for i := range fracs {
+			if best < 0 || fracs[i].f > fracs[best].f {
+				best = i
+			}
+		}
+		share[fracs[best].idx]++
+		fracs[best].f = -1
+	}
+	return share
+}
+
+// idleHeap orders idle workers FIFO by the time they went idle.
+type idleWorker struct {
+	at units.Seconds
+	w  int
+}
+type idleHeap []idleWorker
+
+func (h idleHeap) Len() int { return len(h) }
+func (h idleHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].w < h[j].w
+}
+func (h idleHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *idleHeap) Push(x interface{}) { *h = append(*h, x.(idleWorker)) }
+func (h *idleHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// runMasterWorker executes a work-queue plan (sand): the master on
+// instance 0 serially dispatches tasks (compute + input shipping over
+// its network link); free workers pull dispatched tasks.
+func runMasterWorker(sim *des.Sim, cluster []vm.Instance, appName string, plan workload.Plan, startup units.Seconds, net Network) (units.Seconds, int) {
+	vcpus := clusterVCPUs(cluster, appName)
+	masterRate := cluster[0].PerVCPURate()
+	perDispatch := units.Time(plan.DispatchInstr, masterRate)
+	if len(cluster) > 1 && net.BytesPerSec > 0 {
+		perDispatch += units.Seconds(plan.BytesPerTask / net.BytesPerSec)
+	}
+
+	ready := 0 // dispatched, unstarted tasks
+	started := 0
+	var finish units.Seconds
+	idle := make(idleHeap, 0, len(vcpus))
+	var assign func(w int)
+	assign = func(w int) {
+		task := started
+		started++
+		ready--
+		dur := units.Time(plan.TaskInstr(task), vcpus[w].rate)
+		sim.Schedule(dur, func() {
+			if sim.Now() > finish {
+				finish = sim.Now()
+			}
+			if ready > 0 {
+				assign(w)
+			} else {
+				heap.Push(&idle, idleWorker{sim.Now(), w})
+			}
+		})
+	}
+	dispatched := 0
+	var dispatch func()
+	dispatch = func() {
+		if dispatched >= plan.Tasks {
+			return
+		}
+		sim.Schedule(perDispatch, func() {
+			dispatched++
+			ready++
+			if idle.Len() > 0 {
+				iw := heap.Pop(&idle).(idleWorker)
+				assign(iw.w)
+			}
+			dispatch()
+		})
+	}
+	sim.At(startup, func() {
+		for w := range vcpus {
+			heap.Push(&idle, idleWorker{sim.Now(), w})
+		}
+		dispatch()
+	})
+	sim.Run()
+	if finish < startup {
+		finish = startup
+	}
+	return finish, plan.Tasks
+}

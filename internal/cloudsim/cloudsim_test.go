@@ -1,0 +1,355 @@
+package cloudsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps/galaxy"
+	"repro/internal/apps/sand"
+	"repro/internal/apps/x264"
+	"repro/internal/config"
+	"repro/internal/ec2"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func TestRunValidation(t *testing.T) {
+	cat := ec2.Oregon()
+	opts := DefaultOptions()
+	if _, err := Run(galaxy.App{}, workload.Params{N: 1024, A: 10},
+		config.MustTuple(1, 0), cat, opts); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := Run(galaxy.App{}, workload.Params{N: 1024, A: 10},
+		config.MustTuple(0, 0, 0, 0, 0, 0, 0, 0, 0), cat, opts); err == nil {
+		t.Fatal("empty configuration accepted")
+	}
+}
+
+func TestIndependentNearModelOnSingleInstance(t *testing.T) {
+	// On one instance with negligible startup, the simulator must
+	// approach the analytic model: same capacity law, only jitter and
+	// task-granularity tail differ.
+	cat := ec2.Oregon()
+	var app x264.App
+	p := workload.Params{N: 64, A: 20}
+	tuple := config.MustTuple(1, 0, 0, 0, 0, 0, 0, 0, 0)
+	opts := DefaultOptions()
+	opts.Startup = map[string]units.Seconds{"x264": 0}
+	res, err := Run(app, p, tuple, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := model.FromIPC(cat, app).Predict(app.Demand(p), tuple)
+	if e := stats.RelErr(float64(pred.Time), float64(res.Makespan)); e > 5 {
+		t.Fatalf("sim vs model differ %.1f%% (sim %v, model %v)", e, res.Makespan, pred.Time)
+	}
+}
+
+func TestIndependentTailImbalance(t *testing.T) {
+	// One task fewer than 2× the vCPU count leaves the last wave half
+	// empty: makespan ≈ 2 task times even though capacity suggests
+	// less.
+	cat := ec2.Oregon()
+	var app x264.App
+	tuple := config.MustTuple(0, 0, 1, 0, 0, 0, 0, 0, 0) // 8 vCPUs
+	p := workload.Params{N: 9, A: 20}                    // 9 tasks on 8 vCPUs
+	opts := DefaultOptions()
+	opts.Startup = map[string]units.Seconds{"x264": 0}
+	res, err := Run(app, p, tuple, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taskTime := float64(x264.ClipDemand(20)) / (app.IPC(ec2.C4) * 2.9e9)
+	if got := float64(res.Makespan); got < 1.9*taskTime {
+		t.Fatalf("makespan %v < 2 waves (%v); tail imbalance not modeled", got, 2*taskTime)
+	}
+}
+
+func TestBSPGalaxyMatchesModelShape(t *testing.T) {
+	cat := ec2.Oregon()
+	var app galaxy.App
+	p := workload.Params{N: 4096, A: 50}
+	tuple := config.MustTuple(2, 0, 0, 1, 0, 0, 0, 0, 0)
+	res, err := Run(app, p, tuple, cat, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := model.FromIPC(cat, app).Predict(app.Demand(p), tuple)
+	// Simulated time exceeds the ideal model (startup, comm, remainder
+	// imbalance) but stays within ~15%.
+	if res.Makespan < pred.Time {
+		t.Fatalf("simulated %v faster than ideal model %v", res.Makespan, pred.Time)
+	}
+	if e := stats.RelErr(float64(res.Makespan), float64(pred.Time)); e > 15 {
+		t.Fatalf("sim deviates %.1f%% from model", e)
+	}
+	if res.Tasks != 50 {
+		t.Fatalf("BSP steps = %d, want 50", res.Tasks)
+	}
+}
+
+func TestBSPSingleInstanceNoComm(t *testing.T) {
+	// Communication applies only across instances: a single-node run
+	// with zero startup should sit within jitter of the model.
+	cat := ec2.Oregon()
+	var app galaxy.App
+	p := workload.Params{N: 2048, A: 20}
+	tuple := config.MustTuple(0, 0, 1, 0, 0, 0, 0, 0, 0)
+	opts := DefaultOptions()
+	opts.Startup = map[string]units.Seconds{"galaxy": 0}
+	res, err := Run(app, p, tuple, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := model.FromIPC(cat, app).Predict(app.Demand(p), tuple)
+	if e := stats.RelErr(float64(res.Makespan), float64(pred.Time)); e > 3.5 {
+		t.Fatalf("single-node BSP deviates %.1f%% from model", e)
+	}
+}
+
+func TestMasterWorkerDispatchSlowsLargeClusters(t *testing.T) {
+	// The same sand workload on a large cluster suffers relatively
+	// more from serialized dispatch than the model predicts.
+	cat := ec2.Oregon()
+	var app sand.App
+	p := workload.Params{N: 512e6, A: 0.32}
+	caps := model.FromIPC(cat, app)
+
+	small := config.MustTuple(1, 0, 0, 0, 0, 0, 0, 0, 0)
+	large := config.MustTuple(5, 5, 5, 0, 0, 0, 0, 0, 0)
+	rSmall, err := Run(app, p, small, cat, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLarge, err := Run(app, p, large, cat, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := app.Demand(p)
+	overSmall := float64(rSmall.Makespan) / float64(caps.Predict(d, small).Time)
+	overLarge := float64(rLarge.Makespan) / float64(caps.Predict(d, large).Time)
+	if overLarge <= overSmall {
+		t.Fatalf("dispatch overhead ratio small=%.3f large=%.3f; want larger cluster worse",
+			overSmall, overLarge)
+	}
+	if overLarge < 1.02 {
+		t.Fatalf("large-cluster overhead %.3f; sand must under-predict at scale", overLarge)
+	}
+}
+
+func TestCostBillsBootAndMakespan(t *testing.T) {
+	cat := ec2.Oregon()
+	var app x264.App
+	p := workload.Params{N: 16, A: 20}
+	tuple := config.MustTuple(2, 0, 0, 0, 0, 0, 0, 0, 0)
+	opts := DefaultOptions()
+	res, err := Run(app, p, tuple, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	price, _ := cat.Lookup("c4.large")
+	want := 2 * float64(price.Price) / 3600 * float64(opts.Boot+res.Makespan)
+	if math.Abs(float64(res.Cost)-want)/want > 1e-9 {
+		t.Fatalf("cost = %v, want %v", res.Cost, want)
+	}
+	if res.Instances != 2 || res.VCPUs != 4 {
+		t.Fatalf("cluster shape %d instances / %d vCPUs", res.Instances, res.VCPUs)
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	cat := ec2.Oregon()
+	var app galaxy.App
+	p := workload.Params{N: 2048, A: 10}
+	tuple := config.MustTuple(1, 1, 0, 0, 0, 0, 0, 0, 0)
+	a, err := Run(app, p, tuple, cat, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(app, p, tuple, cat, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Cost != b.Cost {
+		t.Fatal("simulation not deterministic for equal options")
+	}
+	opts2 := DefaultOptions()
+	opts2.Seed = 99
+	c, err := Run(app, p, tuple, cat, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Makespan == a.Makespan {
+		t.Fatal("different seed produced identical makespan (jitter not applied)")
+	}
+}
+
+func TestPartitionProportional(t *testing.T) {
+	vcpus := []vcpuRef{{0, 100}, {0, 100}, {1, 200}}
+	share := partitionProportional(40, vcpus)
+	if share[0]+share[1]+share[2] != 40 {
+		t.Fatalf("partition loses elements: %v", share)
+	}
+	if share[2] <= share[0] {
+		t.Fatalf("faster rank got fewer elements: %v", share)
+	}
+	// Exact proportional case.
+	if share[0] != 10 || share[1] != 10 || share[2] != 20 {
+		t.Fatalf("partition = %v, want [10 10 20]", share)
+	}
+}
+
+func TestPartitionRemainder(t *testing.T) {
+	vcpus := []vcpuRef{{0, 1}, {0, 1}, {0, 1}}
+	share := partitionProportional(10, vcpus)
+	total := 0
+	for _, s := range share {
+		total += s
+		if s < 3 || s > 4 {
+			t.Fatalf("unbalanced remainder split: %v", share)
+		}
+	}
+	if total != 10 {
+		t.Fatalf("partition total %d, want 10", total)
+	}
+}
+
+func TestAppStartupDefaults(t *testing.T) {
+	if AppStartup("x264") <= AppStartup("galaxy") {
+		t.Fatal("x264 stages input; its startup should dominate galaxy's")
+	}
+	if AppStartup("unknown") <= 0 {
+		t.Fatal("unknown apps need a positive default startup")
+	}
+}
+
+func TestMasterWorkerFewTasks(t *testing.T) {
+	// Fewer tasks than workers must still terminate and keep workers
+	// partially idle.
+	cat := ec2.Oregon()
+	var app sand.App
+	p := workload.Params{N: 2e6, A: 0.32} // few tasks
+	tuple := config.MustTuple(5, 0, 0, 0, 0, 0, 0, 0, 0)
+	res, err := Run(app, p, tuple, cat, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestStragglerSlowsRun(t *testing.T) {
+	cat := ec2.Oregon()
+	var app galaxy.App
+	p := workload.Params{N: 2048, A: 10}
+	tuple := config.MustTuple(2, 0, 0, 0, 0, 0, 0, 0, 0)
+	base, err := Run(app, p, tuple, cat, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := DefaultOptions()
+	slow.Stragglers = map[int]float64{0: 2.0}
+	res, err := Run(app, p, tuple, cat, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rate-proportional partitioning compensates the straggler with a
+	// smaller share, so the loss equals the capacity loss: one of two
+	// instances at half speed leaves 3/4 of the capacity → ~4/3 the
+	// makespan, not 2x.
+	ratio := float64(res.Makespan) / float64(base.Makespan)
+	if ratio < 1.15 || ratio > 1.45 {
+		t.Fatalf("2x straggler grew makespan %.2fx (%v -> %v), want ~1.33x",
+			ratio, base.Makespan, res.Makespan)
+	}
+}
+
+func TestFailureIndependentRecovers(t *testing.T) {
+	cat := ec2.Oregon()
+	var app x264.App
+	p := workload.Params{N: 64, A: 20}
+	tuple := config.MustTuple(2, 0, 0, 0, 0, 0, 0, 0, 0)
+	base, err := Run(app, p, tuple, cat, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := DefaultOptions()
+	failed.FailInstance = 1
+	failed.FailAt = base.Makespan / 2
+	res, err := Run(app, p, tuple, cat, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Losing half the cluster halfway through must slow the run but
+	// still complete all work.
+	if res.Makespan <= base.Makespan {
+		t.Fatalf("failure did not slow the run: %v vs %v", res.Makespan, base.Makespan)
+	}
+	// Rough bound: remaining half of the work on half the capacity
+	// adds at most ~1 extra base makespan plus a task tail.
+	if float64(res.Makespan) > 2.5*float64(base.Makespan) {
+		t.Fatalf("failure recovery too slow: %v vs %v", res.Makespan, base.Makespan)
+	}
+	// The failed instance stops billing at the failure time.
+	if res.Cost >= base.Cost*2 {
+		t.Fatalf("failed run cost %v unreasonably high vs %v", res.Cost, base.Cost)
+	}
+}
+
+func TestFailureAbortsBSPAndMasterWorker(t *testing.T) {
+	cat := ec2.Oregon()
+	opts := DefaultOptions()
+	opts.FailInstance = 0
+	opts.FailAt = 10
+	if _, err := Run(galaxy.App{}, workload.Params{N: 2048, A: 10},
+		config.MustTuple(2, 0, 0, 0, 0, 0, 0, 0, 0), cat, opts); err == nil {
+		t.Fatal("BSP survived an instance failure")
+	}
+	if _, err := Run(sand.App{}, workload.Params{N: 8e6, A: 0.32},
+		config.MustTuple(2, 0, 0, 0, 0, 0, 0, 0, 0), cat, opts); err == nil {
+		t.Fatal("master-worker survived an instance failure")
+	}
+}
+
+func TestFailureValidation(t *testing.T) {
+	cat := ec2.Oregon()
+	opts := DefaultOptions()
+	opts.FailInstance = 99
+	opts.FailAt = 10
+	if _, err := Run(x264.App{}, workload.Params{N: 8, A: 20},
+		config.MustTuple(1, 0, 0, 0, 0, 0, 0, 0, 0), cat, opts); err == nil {
+		t.Fatal("out-of-cluster fail instance accepted")
+	}
+}
+
+func TestFailureWorkConservation(t *testing.T) {
+	// Every task completes exactly once on a surviving worker: the
+	// makespan with a failure at t=0 equals a run on the surviving
+	// instance alone.
+	cat := ec2.Oregon()
+	var app x264.App
+	p := workload.Params{N: 32, A: 20}
+	two := config.MustTuple(2, 0, 0, 0, 0, 0, 0, 0, 0)
+	one := config.MustTuple(1, 0, 0, 0, 0, 0, 0, 0, 0)
+
+	failEarly := DefaultOptions()
+	failEarly.FailInstance = 1
+	failEarly.FailAt = units.Seconds(0.001)
+	resFail, err := Run(app, p, two, cat, failEarly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOne, err := Run(app, p, one, cat, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jitter differs per instance id, so allow a few percent.
+	if e := stats.RelErr(float64(resFail.Makespan), float64(resOne.Makespan)); e > 5 {
+		t.Fatalf("immediate failure (%v) differs %.1f%% from single-instance run (%v)",
+			resFail.Makespan, e, resOne.Makespan)
+	}
+}

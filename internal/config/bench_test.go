@@ -1,0 +1,56 @@
+package config
+
+import (
+	"testing"
+)
+
+// BenchmarkForEach measures the raw odometer enumeration rate over the
+// paper's 10,077,695-configuration space.
+func BenchmarkForEach(b *testing.B) {
+	s, err := Uniform(9, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var nodes uint64
+		s.ForEach(func(t Tuple) bool {
+			nodes += uint64(t.Count(0))
+			return true
+		})
+		if nodes == 0 {
+			b.Fatal("no nodes seen")
+		}
+	}
+	b.ReportMetric(float64(s.Size())*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
+}
+
+// BenchmarkAtIndex measures random access decoding.
+func BenchmarkAtIndex(b *testing.B) {
+	s, err := Uniform(9, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	size := s.Size()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AtIndex(uint64(i) % size); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexOf measures the encode direction.
+func BenchmarkIndexOf(b *testing.B) {
+	s, err := Uniform(9, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := MustTuple(5, 5, 5, 3, 0, 0, 2, 1, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.IndexOf(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

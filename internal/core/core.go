@@ -1,0 +1,600 @@
+// Package core is the CELIA engine — the paper's primary contribution.
+// Given an elastic application's demand model, per-type cloud resource
+// capacities, a time deadline T′ and a cost budget C′, it searches the
+// configuration space for feasible configurations (Algorithm 1),
+// extracts the cost-time Pareto-optimal subset, and answers the
+// optimization queries the evaluation is built on (minimum cost for a
+// deadline, minimum time within a budget, maximum accuracy within
+// both).
+//
+// Two search strategies are provided and proven equivalent by tests:
+//
+//   - Exhaustive: a parallel streaming scan of all S configurations
+//     (Eq. 1), exactly Algorithm 1. Guarantees every optimum, at ~10
+//     million model evaluations for the paper's space.
+//
+//   - Decomposed: per-category enumeration. Capacity (Eq. 3) and unit
+//     cost (Eq. 6) are additive across resource types, so any dominated
+//     within-category combination (another combination with no more
+//     cost and no less capacity) can be swapped out of a solution
+//     without losing feasibility or raising cost. Enumerating each
+//     category's combinations, pruning each to its (cost ↓, capacity ↑)
+//     Pareto set and merging across categories therefore preserves all
+//     optima at a small fraction of the evaluations.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/demand"
+	"repro/internal/ec2"
+	"repro/internal/model"
+	"repro/internal/pareto"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Engine binds a demand model, capacities, and a configuration space.
+type Engine struct {
+	caps    *model.Capacities
+	dm      demand.Model
+	space   *config.Space
+	domain  workload.Domain
+	billing model.Billing
+}
+
+// NewEngine validates and builds an engine. The space's arity must
+// match the catalog.
+func NewEngine(caps *model.Capacities, dm demand.Model, space *config.Space, dom workload.Domain) (*Engine, error) {
+	if caps == nil || space == nil {
+		return nil, fmt.Errorf("core: nil capacities or space")
+	}
+	if space.Types() != caps.Catalog().Len() {
+		return nil, fmt.Errorf("core: space has %d types, catalog %d", space.Types(), caps.Catalog().Len())
+	}
+	return &Engine{caps: caps, dm: dm, space: space, domain: dom}, nil
+}
+
+// SetBilling selects the billing policy used by every query (default:
+// per-second, Eq. 5 verbatim). Per-hour billing reproduces 2017-era
+// EC2 charging, where each instance pays for every started hour.
+func (e *Engine) SetBilling(b model.Billing) { e.billing = b }
+
+// Billing reports the engine's billing policy.
+func (e *Engine) Billing() model.Billing { return e.billing }
+
+// billCost prices a duration (seconds) at a unit cost ($/h) under the
+// engine's policy — the hot-loop form of model.Bill.
+func (e *Engine) billCost(T, cu float64) float64 {
+	if e.billing == model.PerHour {
+		h := math.Ceil(T / 3600)
+		if h < 1 && T > 0 {
+			h = 1
+		}
+		return cu * h
+	}
+	return cu / 3600 * T
+}
+
+// Capacities returns the engine's capacity model.
+func (e *Engine) Capacities() *model.Capacities { return e.caps }
+
+// DemandModel returns the engine's demand model.
+func (e *Engine) DemandModel() demand.Model { return e.dm }
+
+// Space returns the engine's configuration space.
+func (e *Engine) Space() *config.Space { return e.space }
+
+// Demand evaluates the demand model at p after domain validation.
+func (e *Engine) Demand(p workload.Params) (units.Instructions, error) {
+	if err := e.domain.CheckParams(p); err != nil {
+		return 0, err
+	}
+	d := e.dm.Demand(p)
+	if d <= 0 {
+		return 0, fmt.Errorf("core: demand model predicts %v for %v", d, p)
+	}
+	return d, nil
+}
+
+// Constraints are the execution targets: time deadline T′ and cost
+// budget C′. Non-positive values mean unconstrained.
+type Constraints struct {
+	Deadline units.Seconds
+	Budget   units.USD
+}
+
+func (c Constraints) deadlineOrInf() float64 {
+	if c.Deadline <= 0 {
+		return math.Inf(1)
+	}
+	return float64(c.Deadline)
+}
+
+func (c Constraints) budgetOrInf() float64 {
+	if c.Budget <= 0 {
+		return math.Inf(1)
+	}
+	return float64(c.Budget)
+}
+
+// FrontierPoint is one Pareto-optimal configuration.
+type FrontierPoint struct {
+	Config config.Tuple
+	Time   units.Seconds
+	Cost   units.USD
+}
+
+// Analysis is the result of a full configuration-space census
+// (Algorithm 1 plus the Pareto filter) — the data behind Figure 4.
+type Analysis struct {
+	Params      workload.Params
+	Demand      units.Instructions
+	Constraints Constraints
+	Total       uint64 // S: configurations examined
+	Feasible    uint64 // configurations with T < T′ and C < C′
+	Frontier    []FrontierPoint
+	// Sample holds every k-th feasible (time, cost) pair for plotting
+	// the Figure 4 scatter; empty unless Options.SampleEvery > 0.
+	Sample []FrontierPoint
+}
+
+// CostSpan reports the cheapest and most expensive frontier costs and
+// their ratio (the paper reports spans of ~1.2–1.3×).
+func (a Analysis) CostSpan() (lo, hi units.USD, ratio float64) {
+	if len(a.Frontier) == 0 {
+		return 0, 0, 0
+	}
+	lo, hi = a.Frontier[0].Cost, a.Frontier[0].Cost
+	for _, f := range a.Frontier[1:] {
+		if f.Cost < lo {
+			lo = f.Cost
+		}
+		if f.Cost > hi {
+			hi = f.Cost
+		}
+	}
+	return lo, hi, float64(hi) / float64(lo)
+}
+
+// Options tune Analyze.
+type Options struct {
+	Workers     int     // parallel scan width; ≤0 means GOMAXPROCS
+	EpsTime     float64 // ε-box size for time (seconds); 0 = exact frontier
+	EpsCost     float64 // ε-box size for cost ($); 0 = exact frontier
+	SampleEvery uint64  // keep every k-th feasible point; 0 = none
+	SampleCap   int     // max sample size (default 4096)
+}
+
+// Analyze runs Algorithm 1 over the entire space in parallel and
+// Pareto-filters the feasible set. It never stores the feasible set:
+// per-worker streaming frontiers are merged at the end.
+func (e *Engine) Analyze(p workload.Params, cons Constraints, opts Options) (Analysis, error) {
+	d, err := e.Demand(p)
+	if err != nil {
+		return Analysis{}, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sampleCap := opts.SampleCap
+	if sampleCap <= 0 {
+		sampleCap = 4096
+	}
+	deadline, budget := cons.deadlineOrInf(), cons.budgetOrInf()
+	w, nodeCost := e.caps.NodeArrays()
+	df := float64(d)
+
+	type shard struct {
+		stream   pareto.Stream2D
+		feasible uint64
+		sample   []FrontierPoint
+	}
+	shards := make([]shard, workers)
+	epsMode := opts.EpsTime > 0 && opts.EpsCost > 0
+
+	e.space.ForEachParallel(workers, func(worker int, t config.Tuple) {
+		var u, cu float64
+		for i := 0; i < t.Len(); i++ {
+			if m := t.Count(i); m > 0 {
+				fm := float64(m)
+				u += fm * w[i]
+				cu += fm * nodeCost[i]
+			}
+		}
+		T := df / u
+		C := e.billCost(T, cu)
+		if T >= deadline || C >= budget {
+			return
+		}
+		sh := &shards[worker]
+		sh.feasible++
+		idx, _ := e.space.IndexOf(t)
+		// The exact streaming frontier is also a sufficient candidate
+		// set for ε-filtering afterwards: an ε-box dominates another
+		// exactly when some exact-frontier point in it does.
+		sh.stream.Add(pareto.Point{X: T, Y: C, ID: idx})
+		if opts.SampleEvery > 0 && sh.feasible%opts.SampleEvery == 0 && len(sh.sample) < sampleCap {
+			sh.sample = append(sh.sample, FrontierPoint{Config: t, Time: units.Seconds(T), Cost: units.USD(C)})
+		}
+	})
+
+	an := Analysis{
+		Params:      p,
+		Demand:      d,
+		Constraints: cons,
+		Total:       e.space.Size(),
+	}
+	var merged pareto.Stream2D
+	for i := range shards {
+		an.Feasible += shards[i].feasible
+		merged.Merge(&shards[i].stream)
+		an.Sample = append(an.Sample, shards[i].sample...)
+	}
+	front := merged.Frontier()
+	if epsMode {
+		front = pareto.EpsilonFrontier2D(front, opts.EpsTime, opts.EpsCost)
+	}
+	an.Frontier = make([]FrontierPoint, len(front))
+	for i, pt := range front {
+		tuple, err := e.space.AtIndex(pt.ID)
+		if err != nil {
+			return Analysis{}, fmt.Errorf("core: frontier index %d: %w", pt.ID, err)
+		}
+		an.Frontier[i] = FrontierPoint{Config: tuple, Time: units.Seconds(pt.X), Cost: units.USD(pt.Y)}
+	}
+	sort.Slice(an.Sample, func(i, j int) bool { return an.Sample[i].Time < an.Sample[j].Time })
+	return an, nil
+}
+
+// MinCostForDeadline finds the cheapest configuration whose predicted
+// time satisfies the deadline, using the decomposed search. The second
+// return is false when no configuration can meet the deadline.
+func (e *Engine) MinCostForDeadline(p workload.Params, deadline units.Seconds) (model.Prediction, bool, error) {
+	d, err := e.Demand(p)
+	if err != nil {
+		return model.Prediction{}, false, err
+	}
+	best, ok := e.decomposedSearch(d, Constraints{Deadline: deadline}, objectiveCost)
+	return best, ok, nil
+}
+
+// MinTimeForBudget finds the fastest configuration whose predicted cost
+// stays within the budget.
+func (e *Engine) MinTimeForBudget(p workload.Params, budget units.USD) (model.Prediction, bool, error) {
+	d, err := e.Demand(p)
+	if err != nil {
+		return model.Prediction{}, false, err
+	}
+	best, ok := e.decomposedSearch(d, Constraints{Budget: budget}, objectiveTime)
+	return best, ok, nil
+}
+
+// MinCostExhaustive is the exhaustive counterpart of MinCostForDeadline
+// (Algorithm 1 with a running minimum); used by tests and ablations to
+// certify the decomposition.
+func (e *Engine) MinCostExhaustive(p workload.Params, deadline units.Seconds) (model.Prediction, bool, error) {
+	d, err := e.Demand(p)
+	if err != nil {
+		return model.Prediction{}, false, err
+	}
+	w, nodeCost := e.caps.NodeArrays()
+	df := float64(d)
+	dl := Constraints{Deadline: deadline}.deadlineOrInf()
+	workers := runtime.GOMAXPROCS(0)
+	type best struct {
+		cost float64
+		t    config.Tuple
+		ok   bool
+	}
+	bests := make([]best, workers)
+	for i := range bests {
+		bests[i].cost = math.Inf(1)
+	}
+	e.space.ForEachParallel(workers, func(worker int, t config.Tuple) {
+		var u, cu float64
+		for i := 0; i < t.Len(); i++ {
+			if m := t.Count(i); m > 0 {
+				fm := float64(m)
+				u += fm * w[i]
+				cu += fm * nodeCost[i]
+			}
+		}
+		T := df / u
+		if T >= dl {
+			return
+		}
+		C := e.billCost(T, cu)
+		b := &bests[worker]
+		if C < b.cost || (C == b.cost && b.ok && lessTuple(t, b.t)) {
+			b.cost, b.t, b.ok = C, t, true
+		}
+	})
+	out := best{cost: math.Inf(1)}
+	for _, b := range bests {
+		if !b.ok {
+			continue
+		}
+		if b.cost < out.cost || (b.cost == out.cost && out.ok && lessTuple(b.t, out.t)) {
+			out = b
+		}
+	}
+	if !out.ok {
+		return model.Prediction{}, false, nil
+	}
+	return e.caps.PredictBilled(d, out.t, e.billing), true, nil
+}
+
+// lessTuple is a deterministic tie-break on equal objective values.
+func lessTuple(a, b config.Tuple) bool { return a.String() < b.String() }
+
+type objective int
+
+const (
+	objectiveCost objective = iota
+	objectiveTime
+)
+
+// catCombo is one within-category combination with its aggregate
+// capacity and unit cost.
+type catCombo struct {
+	counts [3]uint8
+	u, cu  float64
+}
+
+// decomposedSearch merges per-category Pareto-pruned combinations. It
+// assumes the catalog groups into the three paper categories; for
+// other catalogs, callers should use the exhaustive path.
+func (e *Engine) decomposedSearch(d units.Instructions, cons Constraints, obj objective) (model.Prediction, bool) {
+	cat := e.caps.Catalog()
+	groups := make([][]int, 0, 3)
+	for _, c := range cat.CategoryNames() {
+		groups = append(groups, cat.ByCategory(c))
+	}
+	// The fast merge is shaped for the paper's 3-categories × ≤3-types
+	// structure; fall back to a full scan for other catalogs.
+	if len(groups) > 3 {
+		return e.scanSearch(d, cons, obj)
+	}
+	for _, g := range groups {
+		if len(g) > 3 {
+			return e.scanSearch(d, cons, obj)
+		}
+	}
+	w, nodeCost := e.caps.NodeArrays()
+
+	// Enumerate and prune each category.
+	pruned := make([][]catCombo, len(groups))
+	for g, idx := range groups {
+		var combos []catCombo
+		limits := make([]int, len(idx))
+		for k, i := range idx {
+			limits[k] = e.space.Max(i)
+		}
+		counts := make([]int, len(idx))
+		for {
+			var cc catCombo
+			for k, i := range idx {
+				cc.counts[k] = uint8(counts[k])
+				cc.u += float64(counts[k]) * w[i]
+				cc.cu += float64(counts[k]) * nodeCost[i]
+			}
+			combos = append(combos, cc)
+			// Odometer.
+			k := 0
+			for k < len(counts) {
+				if counts[k] < limits[k] {
+					counts[k]++
+					break
+				}
+				counts[k] = 0
+				k++
+			}
+			if k == len(counts) {
+				break
+			}
+		}
+		pruned[g] = pruneCombos(combos)
+	}
+
+	// Merge across categories.
+	df := float64(d)
+	deadline, budget := cons.deadlineOrInf(), cons.budgetOrInf()
+	bestVal := math.Inf(1)
+	var bestTuple config.Tuple
+	found := false
+	consider := func(u, cu float64, mk func() config.Tuple) {
+		if u <= 0 {
+			return
+		}
+		T := df / u
+		C := e.billCost(T, cu)
+		if T >= deadline || C >= budget {
+			return
+		}
+		v := C
+		if obj == objectiveTime {
+			v = T
+		}
+		if v < bestVal || (v == bestVal && found && lessTuple(mk(), bestTuple)) {
+			bestVal = v
+			bestTuple = mk()
+			found = true
+		}
+	}
+	for _, a := range pruned[0] {
+		for _, b := range orEmpty(pruned, 1) {
+			for _, c := range orEmpty(pruned, 2) {
+				a, b, c := a, b, c
+				consider(a.u+b.u+c.u, a.cu+b.cu+c.cu, func() config.Tuple {
+					return e.assemble(groups, [][3]uint8{a.counts, b.counts, c.counts})
+				})
+			}
+		}
+	}
+	if !found {
+		return model.Prediction{}, false
+	}
+	return e.caps.PredictBilled(d, bestTuple, e.billing), true
+}
+
+// orEmpty lets the merge loops run even when the catalog has fewer than
+// three categories.
+func orEmpty(pruned [][]catCombo, g int) []catCombo {
+	if g < len(pruned) {
+		return pruned[g]
+	}
+	return []catCombo{{}}
+}
+
+// assemble rebuilds a full tuple from per-category counts.
+func (e *Engine) assemble(groups [][]int, counts [][3]uint8) config.Tuple {
+	full := make([]int, e.space.Types())
+	for g, idx := range groups {
+		if g >= len(counts) {
+			break
+		}
+		for k, i := range idx {
+			full[i] = int(counts[g][k])
+		}
+	}
+	t, err := config.NewTuple(full)
+	if err != nil {
+		panic("core: assemble produced invalid tuple: " + err.Error()) // counts come from the space
+	}
+	return t
+}
+
+// pruneCombos keeps the (unit cost ↓, capacity ↑) Pareto set of a
+// category's combinations: any dominated combination can be exchanged
+// for a dominating one in a full configuration without raising cost or
+// losing capacity.
+func pruneCombos(combos []catCombo) []catCombo {
+	sort.Slice(combos, func(i, j int) bool {
+		if combos[i].cu != combos[j].cu {
+			return combos[i].cu < combos[j].cu
+		}
+		return combos[i].u > combos[j].u
+	})
+	var out []catCombo
+	bestU := math.Inf(-1)
+	for _, c := range combos {
+		if c.u > bestU {
+			out = append(out, c)
+			bestU = c.u
+		}
+	}
+	return out
+}
+
+// scanSearch is the general single-objective search over the whole
+// space, used when the catalog does not fit the decomposed merge.
+func (e *Engine) scanSearch(d units.Instructions, cons Constraints, obj objective) (model.Prediction, bool) {
+	w, nodeCost := e.caps.NodeArrays()
+	df := float64(d)
+	deadline, budget := cons.deadlineOrInf(), cons.budgetOrInf()
+	workers := runtime.GOMAXPROCS(0)
+	type best struct {
+		val float64
+		t   config.Tuple
+		ok  bool
+	}
+	bests := make([]best, workers)
+	for i := range bests {
+		bests[i].val = math.Inf(1)
+	}
+	e.space.ForEachParallel(workers, func(worker int, t config.Tuple) {
+		var u, cu float64
+		for i := 0; i < t.Len(); i++ {
+			if m := t.Count(i); m > 0 {
+				fm := float64(m)
+				u += fm * w[i]
+				cu += fm * nodeCost[i]
+			}
+		}
+		T := df / u
+		C := e.billCost(T, cu)
+		if T >= deadline || C >= budget {
+			return
+		}
+		v := C
+		if obj == objectiveTime {
+			v = T
+		}
+		b := &bests[worker]
+		if v < b.val || (v == b.val && b.ok && lessTuple(t, b.t)) {
+			b.val, b.t, b.ok = v, t, true
+		}
+	})
+	out := best{val: math.Inf(1)}
+	for _, b := range bests {
+		if b.ok && (b.val < out.val || (b.val == out.val && out.ok && lessTuple(b.t, out.t))) {
+			out = b
+		}
+	}
+	if !out.ok {
+		return model.Prediction{}, false
+	}
+	return e.caps.PredictBilled(d, out.t, e.billing), true
+}
+
+// MaxAccuracy finds the largest accuracy value a (within the app's
+// domain) such that problem (n, a) still admits a configuration meeting
+// both constraints — the inverse query that motivates elastic
+// applications: spend the whole budget on result quality. Monotone
+// demand in a is assumed (true for all three paper applications);
+// binary search to within tol (relative).
+func (e *Engine) MaxAccuracy(n float64, cons Constraints, tol float64) (workload.Params, model.Prediction, bool, error) {
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	lo, hi := e.domain.MinA, e.domain.MaxA
+	check := func(a float64) (model.Prediction, bool) {
+		d, err := e.Demand(workload.Params{N: n, A: a})
+		if err != nil {
+			return model.Prediction{}, false
+		}
+		pred, ok := e.decomposedSearch(d, cons, objectiveCost)
+		return pred, ok
+	}
+	pred, ok := check(lo)
+	if !ok {
+		return workload.Params{}, model.Prediction{}, false, nil
+	}
+	if p, ok := check(hi); ok {
+		return workload.Params{N: n, A: hi}, p, true, nil
+	}
+	bestA := lo
+	for hi-lo > tol*math.Max(1, hi) {
+		mid := (lo + hi) / 2
+		if p, ok := check(mid); ok {
+			bestA, pred, lo = mid, p, mid
+		} else {
+			hi = mid
+		}
+	}
+	return workload.Params{N: n, A: bestA}, pred, true, nil
+}
+
+// NewPaperEngine assembles the paper's standard setup for an
+// application: Oregon catalog, five nodes per type, ground-truth
+// capacities, and the app's analytic demand law. Production use feeds
+// fitted demand models and profiled capacities instead; this
+// constructor serves analysis and examples.
+func NewPaperEngine(app workload.App) *Engine {
+	cat := ec2.Oregon()
+	space, err := config.Uniform(cat.Len(), 5)
+	if err != nil {
+		panic("core: paper space: " + err.Error())
+	}
+	eng, err := NewEngine(model.FromIPC(cat, app), demand.FromApp(app), space, app.Domain())
+	if err != nil {
+		panic("core: paper engine: " + err.Error())
+	}
+	return eng
+}

@@ -1,0 +1,132 @@
+// Package demand represents application resource-demand models
+// D_{P_{n,a}}: the total retired instructions an elastic application
+// needs as a function of problem size n and accuracy a. CELIA fits
+// these models from baseline measurements (internal/fit) and feeds them
+// to the time model (Eq. 2).
+package demand
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Basis is one term of a demand model: a named function of (n, a).
+type Basis struct {
+	Name string
+	Eval func(n, a float64) float64
+}
+
+// Standard basis constructors. Demand laws in the paper's applications
+// are all proportional to problem size or its square, with accuracy
+// entering linearly, quadratically, or logarithmically.
+func N() Basis  { return Basis{"n", func(n, a float64) float64 { return n }} }
+func N2() Basis { return Basis{"n^2", func(n, a float64) float64 { return n * n }} }
+func NA() Basis {
+	return Basis{"n*a", func(n, a float64) float64 { return n * a }}
+}
+func N2A() Basis {
+	return Basis{"n^2*a", func(n, a float64) float64 { return n * n * a }}
+}
+func NA2() Basis {
+	return Basis{"n*a^2", func(n, a float64) float64 { return n * a * a }}
+}
+func NLog(scale float64) Basis {
+	return Basis{
+		Name: fmt.Sprintf("n*ln(1+%g*a)", scale),
+		Eval: func(n, a float64) float64 { return n * math.Log(1+scale*a) },
+	}
+}
+func Const() Basis { return Basis{"1", func(n, a float64) float64 { return 1 }} }
+
+// ParseBasis resolves a basis from its Name — the inverse of the
+// constructors above, used to rebuild persisted models. Unknown names
+// are an error.
+func ParseBasis(name string) (Basis, error) {
+	switch name {
+	case "1":
+		return Const(), nil
+	case "n":
+		return N(), nil
+	case "n^2":
+		return N2(), nil
+	case "n*a":
+		return NA(), nil
+	case "n^2*a":
+		return N2A(), nil
+	case "n*a^2":
+		return NA2(), nil
+	}
+	var scale float64
+	if _, err := fmt.Sscanf(name, "n*ln(1+%g*a)", &scale); err == nil && scale > 0 {
+		return NLog(scale), nil
+	}
+	return Basis{}, fmt.Errorf("demand: unknown basis %q", name)
+}
+
+// Model is a fitted (or analytically specified) demand function:
+// D(n,a) = Σ_k Coeffs[k] · Bases[k](n,a).
+type Model struct {
+	AppName string
+	Bases   []Basis
+	Coeffs  []float64
+	R2      float64 // goodness of fit (1 for analytic models)
+	source  func(n, a float64) float64
+}
+
+// FromFit builds a model from fitted coefficients.
+func FromFit(appName string, bases []Basis, coeffs []float64, r2 float64) (Model, error) {
+	if len(bases) == 0 || len(bases) != len(coeffs) {
+		return Model{}, fmt.Errorf("demand: %d bases vs %d coefficients", len(bases), len(coeffs))
+	}
+	return Model{AppName: appName, Bases: bases, Coeffs: coeffs, R2: r2}, nil
+}
+
+// FromFunc wraps an arbitrary demand function (used for ground-truth
+// models in tests and for the analytic forms of the apps).
+func FromFunc(appName string, f func(n, a float64) float64) Model {
+	return Model{AppName: appName, R2: 1, source: f}
+}
+
+// FromApp wraps an application's ground-truth demand law.
+func FromApp(app workload.App) Model {
+	return FromFunc(app.Name(), func(n, a float64) float64 {
+		return float64(app.Demand(workload.Params{N: n, A: a}))
+	})
+}
+
+// Demand evaluates the model at p. Negative predictions (possible from
+// a fit extrapolated far outside its data) are clamped to zero.
+func (m Model) Demand(p workload.Params) units.Instructions {
+	var d float64
+	if m.source != nil {
+		d = m.source(p.N, p.A)
+	} else {
+		for k, b := range m.Bases {
+			d += m.Coeffs[k] * b.Eval(p.N, p.A)
+		}
+	}
+	if d < 0 {
+		return 0
+	}
+	return units.Instructions(d)
+}
+
+// Form renders the model as a human-readable formula.
+func (m Model) Form() string {
+	if m.source != nil {
+		return m.AppName + ": analytic"
+	}
+	terms := make([]string, len(m.Bases))
+	for k, b := range m.Bases {
+		terms[k] = fmt.Sprintf("%.4g·%s", m.Coeffs[k], b.Name)
+	}
+	return fmt.Sprintf("D(n,a) = %s", strings.Join(terms, " + "))
+}
+
+func (m Model) String() string {
+	return fmt.Sprintf("%s demand model (R²=%.4f): %s", m.AppName, m.R2, m.Form())
+}

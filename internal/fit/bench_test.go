@@ -1,0 +1,29 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// BenchmarkSelect measures full model selection over the standard
+// family catalog on a realistic 24-point grid.
+func BenchmarkSelect(b *testing.B) {
+	var pts []Point
+	for _, n := range []float64{1e6, 4e6, 16e6, 64e6} {
+		for _, a := range []float64{0.01, 0.04, 0.16, 0.32, 0.64, 1.0} {
+			d := n * (822e3 + 600e3*logish(99*a))
+			pts = append(pts, Point{P: workload.Params{N: n, A: a}, D: units.Instructions(d)})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Select("bench", pts, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func logish(x float64) float64 { return math.Log1p(x) }

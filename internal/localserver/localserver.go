@@ -1,0 +1,87 @@
+// Package localserver models the baseline measurement host of the
+// paper's methodology: a local Intel Xeon E5-2630 v4 server with the
+// same instruction-set architecture and micro-architecture family as
+// the target cloud resources. Because cloud virtualization blocks
+// hardware performance counters, CELIA measures application resource
+// demand (retired instructions) on this local machine; the instruction
+// count transfers to the cloud because ISA and micro-architecture
+// match.
+package localserver
+
+import (
+	"fmt"
+
+	"repro/internal/ec2"
+	"repro/internal/perf"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Server is the local baseline host.
+type Server struct {
+	Name    string
+	Cores   int     // physical cores
+	Threads int     // hardware threads
+	GHz     float64 // base frequency
+	// ipcScale adapts an application's cloud-category IPC to this host
+	// (Broadwell vs. Haswell): close to 1 by construction of the
+	// paper's methodology.
+	ipcScale float64
+}
+
+// NewXeonE52630v4 returns the paper's measurement host: 10 cores / 20
+// threads at 2.2 GHz.
+func NewXeonE52630v4() *Server {
+	return &Server{Name: "Intel Xeon E5-2630 v4", Cores: 10, Threads: 20, GHz: 2.2, ipcScale: 0.97}
+}
+
+// Measurement is the result of one baseline run under perf.
+type Measurement struct {
+	Params       workload.Params
+	Instructions units.Instructions // total retired instructions (perf)
+	WallTime     units.Seconds      // local wall-clock time
+	Breakdown    []perf.ClassCount  // per-class counts
+}
+
+// Measure executes the application's scale-down kernel for p under a
+// simulated perf session and reports the instruction count and local
+// wall time. This is the paper's "baseline execution on a local server".
+func (s *Server) Measure(app workload.App, p workload.Params) (Measurement, error) {
+	acct := perf.NewAccount()
+	if err := app.RunBaseline(p, acct); err != nil {
+		return Measurement{}, fmt.Errorf("localserver: baseline %s%v: %w", app.Name(), p, err)
+	}
+	instr := acct.Total()
+	// The local host executes the same general-purpose micro-
+	// architecture family as m4; wall time follows from its aggregate
+	// retirement rate across loaded threads.
+	rate := s.Rate(app)
+	return Measurement{
+		Params:       p,
+		Instructions: instr,
+		WallTime:     units.Time(instr, rate),
+		Breakdown:    acct.Breakdown(),
+	}, nil
+}
+
+// Rate reports the host's aggregate instruction retirement rate for the
+// application when all hardware threads are loaded.
+func (s *Server) Rate(app workload.App) units.Rate {
+	perThread := app.IPC(ec2.M4) * s.ipcScale * s.GHz
+	return units.GIPS(perThread * float64(s.Threads))
+}
+
+// MeasureGrid measures every point of the application's baseline grid,
+// in order.
+func (s *Server) MeasureGrid(app workload.App) ([]Measurement, error) {
+	grid := app.BaselineGrid()
+	out := make([]Measurement, 0, len(grid))
+	for _, p := range grid {
+		m, err := s.Measure(app, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package localserver
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps/galaxy"
+	"repro/internal/apps/sand"
+	"repro/internal/apps/x264"
+	"repro/internal/workload"
+)
+
+func TestMeasureGalaxy(t *testing.T) {
+	s := NewXeonE52630v4()
+	var app galaxy.App
+	p := workload.Params{N: 256, A: 2}
+	m, err := s.Measure(app, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(app.Demand(p)) + float64(galaxy.Setup(p.N))
+	if math.Abs(float64(m.Instructions)-want) > 1 {
+		t.Fatalf("measured %v instructions, want %v", m.Instructions, want)
+	}
+	if m.WallTime <= 0 {
+		t.Fatal("non-positive wall time")
+	}
+	if len(m.Breakdown) == 0 {
+		t.Fatal("empty breakdown")
+	}
+}
+
+func TestMeasureRejectsFullScale(t *testing.T) {
+	s := NewXeonE52630v4()
+	if _, err := s.Measure(galaxy.App{}, workload.Params{N: 65536, A: 8000}); err == nil {
+		t.Fatal("full-scale measurement accepted")
+	}
+}
+
+func TestMeasureGridAllApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline grids are compute-heavy")
+	}
+	s := NewXeonE52630v4()
+	for _, app := range []workload.App{x264.App{}, sand.App{}} {
+		ms, err := s.MeasureGrid(app)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name(), err)
+		}
+		if len(ms) != len(app.BaselineGrid()) {
+			t.Fatalf("%s: measured %d of %d grid points", app.Name(), len(ms), len(app.BaselineGrid()))
+		}
+		for _, m := range ms {
+			if m.Instructions <= 0 {
+				t.Fatalf("%s%v: non-positive instruction count", app.Name(), m.Params)
+			}
+		}
+	}
+}
+
+func TestRateScalesWithThreads(t *testing.T) {
+	s := NewXeonE52630v4()
+	half := *s
+	half.Threads = s.Threads / 2
+	var app galaxy.App
+	r1, r2 := s.Rate(app), half.Rate(app)
+	if math.Abs(float64(r1)/float64(r2)-2) > 1e-9 {
+		t.Fatalf("rate did not scale with threads: %v vs %v", r1, r2)
+	}
+}
+
+func TestHostSpec(t *testing.T) {
+	s := NewXeonE52630v4()
+	if s.Cores != 10 || s.Threads != 20 || s.GHz != 2.2 {
+		t.Fatalf("host spec = %+v, want E5-2630 v4 (10c/20t, 2.2GHz)", s)
+	}
+}

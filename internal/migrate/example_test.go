@@ -1,0 +1,27 @@
+package migrate_test
+
+import (
+	"fmt"
+
+	"repro/internal/apps/galaxy"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/migrate"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Example shows a mid-run rescue: a job on an expensive memory-
+// optimized cluster is moved to a compute-optimized mix.
+func Example() {
+	engine := core.NewPaperEngine(galaxy.App{})
+	demand, _ := engine.Demand(workload.Params{N: 65536, A: 4000})
+	decision, _ := migrate.Advise(engine.Capacities(), engine.Space(), migrate.State{
+		Current:           config.MustTuple(0, 0, 0, 0, 0, 0, 5, 5, 5), // all-r3
+		RemainingDemand:   demand,
+		RemainingDeadline: units.FromHours(72),
+	}, migrate.DefaultOverheads())
+	fmt.Printf("migrate: %v (stay %v vs move %v)\n",
+		decision.Migrate, decision.StayCost, decision.MoveCost)
+	// Output: migrate: true (stay $95.41 vs move $47.70)
+}

@@ -1,0 +1,35 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/apps/galaxy"
+	"repro/internal/config"
+	"repro/internal/ec2"
+	"repro/internal/units"
+)
+
+// BenchmarkPredict measures one Eq. 2–6 evaluation — the operation the
+// exhaustive scan performs ten million times per census.
+func BenchmarkPredict(b *testing.B) {
+	caps := FromIPC(ec2.Oregon(), galaxy.App{})
+	tp := config.MustTuple(5, 5, 5, 3, 0, 0, 2, 1, 0)
+	d := units.Instructions(9e15)
+	b.ReportAllocs()
+	var sink Prediction
+	for i := 0; i < b.N; i++ {
+		sink = caps.Predict(d, tp)
+	}
+	_ = sink
+}
+
+// BenchmarkPredictBilledHourly measures the per-hour billing variant.
+func BenchmarkPredictBilledHourly(b *testing.B) {
+	caps := FromIPC(ec2.Oregon(), galaxy.App{})
+	tp := config.MustTuple(5, 5, 5, 3, 0, 0, 2, 1, 0)
+	d := units.Instructions(9e15)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = caps.PredictBilled(d, tp, PerHour)
+	}
+}

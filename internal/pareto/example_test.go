@@ -1,0 +1,40 @@
+package pareto_test
+
+import (
+	"fmt"
+
+	"repro/internal/pareto"
+)
+
+// ExampleStream2D filters a stream of (time, cost) points down to the
+// Pareto frontier without storing the stream.
+func ExampleStream2D() {
+	var s pareto.Stream2D
+	for _, p := range []pareto.Point{
+		{X: 10, Y: 100, ID: 1},
+		{X: 20, Y: 50, ID: 2},
+		{X: 15, Y: 120, ID: 3}, // dominated by ID 1
+		{X: 5, Y: 200, ID: 4},
+		{X: 30, Y: 60, ID: 5}, // dominated by ID 2
+	} {
+		s.Add(p)
+	}
+	for _, p := range s.Frontier() {
+		fmt.Printf("(%g, %g) ", p.X, p.Y)
+	}
+	fmt.Println()
+	// Output: (5, 200) (10, 100) (20, 50)
+}
+
+// ExampleEpsilonFrontier2D coarsens a dense frontier with the
+// ε-nondomination boxes of pareto.py, the paper's reference [27].
+func ExampleEpsilonFrontier2D() {
+	var pts []pareto.Point
+	for i := 0; i < 100; i++ {
+		pts = append(pts, pareto.Point{X: float64(i), Y: float64(100 - i), ID: uint64(i)})
+	}
+	exact := pareto.Frontier2D(pts)
+	coarse := pareto.EpsilonFrontier2D(pts, 25, 25)
+	fmt.Printf("exact: %d points, epsilon: %d points\n", len(exact), len(coarse))
+	// Output: exact: 100 points, epsilon: 4 points
+}

@@ -1,0 +1,239 @@
+package profile
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/apps/galaxy"
+	"repro/internal/apps/sand"
+	"repro/internal/apps/x264"
+	"repro/internal/config"
+	"repro/internal/ec2"
+	"repro/internal/model"
+	"repro/internal/perf"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func TestCharacterizeDemandAllApps(t *testing.T) {
+	pf := New()
+	for _, c := range []struct {
+		app  workload.App
+		fams []string
+	}{
+		{x264.App{}, []string{"accuracy-quadratic", "accuracy-poly"}},
+		{galaxy.App{}, []string{"size-quadratic", "size-quadratic-full"}},
+		{sand.App{}, []string{"accuracy-log99"}},
+	} {
+		dr, err := pf.CharacterizeDemand(c.app)
+		if err != nil {
+			t.Fatalf("%s: %v", c.app.Name(), err)
+		}
+		okFam := false
+		for _, f := range c.fams {
+			if dr.Fit.Family == f {
+				okFam = true
+			}
+		}
+		if !okFam {
+			t.Errorf("%s: selected family %s, want one of %v", c.app.Name(), dr.Fit.Family, c.fams)
+		}
+		if dr.Fit.Model.R2 < 0.999 {
+			t.Errorf("%s: fit R2 = %v", c.app.Name(), dr.Fit.Model.R2)
+		}
+		if len(dr.Points) != len(c.app.BaselineGrid()) {
+			t.Errorf("%s: %d points, want %d", c.app.Name(), len(dr.Points), len(c.app.BaselineGrid()))
+		}
+	}
+}
+
+func TestCharacterizeCapacityRecoversGroundTruth(t *testing.T) {
+	// Measured W_i,vCPU must land close to (and, because startup
+	// contaminates the timed run, slightly BELOW) the ground truth.
+	pf := New()
+	for _, app := range []workload.App{x264.App{}, galaxy.App{}, sand.App{}} {
+		cr, err := pf.CharacterizeCapacity(app, false)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name(), err)
+		}
+		truth := model.FromIPC(pf.Catalog, app)
+		for i := 0; i < pf.Catalog.Len(); i++ {
+			got := float64(cr.Capacities.PerVCPU(i))
+			want := float64(truth.PerVCPU(i))
+			if e := stats.RelErr(got, want); e > 15 {
+				t.Errorf("%s/%s: measured rate off by %.1f%%", app.Name(), pf.Catalog.Type(i).Name, e)
+			}
+			if got > want*1.025 {
+				t.Errorf("%s/%s: measured rate %v above truth %v beyond jitter",
+					app.Name(), pf.Catalog.Type(i).Name, got, want)
+			}
+		}
+	}
+}
+
+func TestPerCategoryOptimizationCloseToPerType(t *testing.T) {
+	// §IV-C: per-category probing must agree with per-type probing to
+	// within a few percent for every type.
+	pf := New()
+	app := galaxy.App{}
+	full, err := pf.CharacterizeCapacity(app, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := pf.CharacterizeCapacity(app, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measuredCount := 0
+	for i := range cat.Types {
+		if cat.Types[i].Measured {
+			measuredCount++
+		}
+		e := stats.RelErr(float64(cat.Types[i].PerVCPU), float64(full.Types[i].PerVCPU))
+		if e > 5 {
+			t.Errorf("%s: per-category rate deviates %.1f%% from per-type", cat.Types[i].Type.Name, e)
+		}
+	}
+	if measuredCount != 3 {
+		t.Fatalf("per-category probing measured %d types, want 3 (one per category)", measuredCount)
+	}
+}
+
+func TestFigure3Structure(t *testing.T) {
+	// The measured per-dollar performance must reproduce Figure 3:
+	// flat within category; across categories c4 ≈ 2× r3, m4 ≈ 1.5× r3.
+	pf := New()
+	cr, err := pf.CharacterizeCapacity(galaxy.App{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, tc := range cr.Types {
+		byName[tc.Type.Name] = tc.PerDollar / 1e9
+	}
+	for _, cat := range []string{"c4", "m4", "r3"} {
+		base := byName[cat+".large"]
+		for _, sz := range []string{".xlarge", ".2xlarge"} {
+			if e := math.Abs(byName[cat+sz]-base) / base; e > 0.05 {
+				t.Errorf("%s%s per-dollar deviates %.1f%% within category", cat, sz, e*100)
+			}
+		}
+	}
+	if r := byName["c4.large"] / byName["r3.large"]; r < 1.8 || r > 2.2 {
+		t.Errorf("c4/r3 per-dollar = %.2f, want ~2.0", r)
+	}
+	if r := byName["m4.large"] / byName["r3.large"]; r < 1.35 || r > 1.65 {
+		t.Errorf("m4/r3 per-dollar = %.2f, want ~1.5", r)
+	}
+}
+
+func TestProfilePointsInsideEnvelope(t *testing.T) {
+	for _, app := range []workload.App{x264.App{}, galaxy.App{}, sand.App{}} {
+		for _, vcpus := range []int{2, 4, 8} {
+			pp := ProfilePoint(app, vcpus)
+			if err := app.Domain().CheckBaseline(pp); err != nil {
+				t.Errorf("%s profile point %v (%d vCPU): %v", app.Name(), pp, vcpus, err)
+			}
+		}
+	}
+}
+
+func TestProfilePointScalesWithVCPUs(t *testing.T) {
+	// Probe demand must scale ~linearly with vCPUs so probe wall time
+	// stays constant across sizes within a category.
+	for _, app := range []workload.App{x264.App{}, galaxy.App{}, sand.App{}} {
+		d2 := float64(app.Demand(ProfilePoint(app, 2)))
+		d8 := float64(app.Demand(ProfilePoint(app, 8)))
+		if r := d8 / d2; r < 3.5 || r > 4.5 {
+			t.Errorf("%s probe demand ratio 8v/2v = %.2f, want ~4", app.Name(), r)
+		}
+	}
+}
+
+func TestBuildEnginePipeline(t *testing.T) {
+	pf := New()
+	eng, dr, cr, err := pf.BuildEngine(galaxy.App{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Space().Size() != 10077695 {
+		t.Fatalf("engine space = %d", eng.Space().Size())
+	}
+	if dr.Fit.Model.R2 < 0.99 || cr.Capacities == nil {
+		t.Fatal("pipeline produced weak characterizations")
+	}
+	// The production engine must predict within a bounded band of the
+	// ground-truth engine for a full-scale problem.
+	p := workload.Params{N: 65536, A: 8000}
+	d, err := eng.Demand(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := config.MustTuple(5, 5, 5, 3, 0, 0, 0, 0, 0)
+	truth := model.FromIPC(ec2.Oregon(), galaxy.App{}).Predict(galaxy.App{}.Demand(p), tp)
+	got := eng.Capacities().Predict(d, tp)
+	if e := stats.RelErr(float64(got.Time), float64(truth.Time)); e > 20 {
+		t.Fatalf("fitted engine deviates %.1f%% from ground truth", e)
+	}
+	// The measurement bias is one-sided: fitted predictions run slow
+	// (capacity under-measured), never fast.
+	if float64(got.Time) < float64(truth.Time)*0.99 {
+		t.Fatalf("fitted engine predicts faster (%v) than ground truth (%v)", got.Time, truth.Time)
+	}
+}
+
+func TestDemandCurve(t *testing.T) {
+	pf := New()
+	dr, err := pf.CharacterizeDemand(sand.App{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := DemandCurve(dr.Fit.Model, false, 8e6, []float64{0.1, 0.2, 0.4, 0.8})
+	if len(curve) != 4 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].D <= curve[i-1].D {
+			t.Fatal("sand demand curve not increasing in t")
+		}
+	}
+}
+
+// failingApp wraps galaxy but refuses to execute baselines, to exercise
+// the pipeline's error propagation.
+type failingApp struct{ galaxy.App }
+
+func (failingApp) Name() string { return "failing" }
+func (failingApp) RunBaseline(workload.Params, *perf.Account) error {
+	return errors.New("injected kernel failure")
+}
+
+func TestPipelinePropagatesKernelFailures(t *testing.T) {
+	pf := New()
+	if _, err := pf.CharacterizeDemand(failingApp{}); err == nil {
+		t.Fatal("demand characterization swallowed a kernel failure")
+	}
+	if _, err := pf.CharacterizeCapacity(failingApp{}, true); err == nil {
+		t.Fatal("capacity characterization swallowed a kernel failure")
+	}
+	if _, _, _, err := pf.BuildEngine(failingApp{}); err == nil {
+		t.Fatal("BuildEngine swallowed a kernel failure")
+	}
+}
+
+// narrowApp yields degenerate baseline data (a single grid point), so
+// every candidate family is underdetermined.
+type narrowApp struct{ galaxy.App }
+
+func (narrowApp) Name() string { return "narrow" }
+func (narrowApp) BaselineGrid() []workload.Params {
+	return []workload.Params{{N: 256, A: 2}}
+}
+
+func TestDemandFitFailsOnDegenerateGrid(t *testing.T) {
+	pf := New()
+	if _, err := pf.CharacterizeDemand(narrowApp{}); err == nil {
+		t.Fatal("single-point grid produced a fit")
+	}
+}

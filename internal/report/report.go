@@ -1,0 +1,211 @@
+// Package report renders experiment results as aligned text tables,
+// CSV, and simple ASCII charts — the output surfaces of the cmd tools
+// and the benchmark harness.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+			continue
+		case string:
+			row[i] = v
+			continue
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v != 0 && (math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3):
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Rows reports the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		return fmt.Sprintf("report: %v", err)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the table as CSV (headers first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Series is one named line of an x-y chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart renders series as a crude ASCII scatter for quick terminal
+// inspection of the figures' shapes.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	series []Series
+}
+
+// NewChart builds a chart with sensible terminal dimensions.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 72, Height: 20}
+}
+
+// Add appends a series; X and Y must have equal lengths.
+func (c *Chart) Add(s Series) error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("report: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+	}
+	c.series = append(c.series, s)
+	return nil
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	var minX, maxX, minY, maxY float64
+	first := true
+	for _, s := range c.series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			if first {
+				minX, maxX, minY, maxY = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if first {
+		return c.Title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", c.Width))
+	}
+	marks := "o+x*#@%&"
+	for si, s := range c.series {
+		m := marks[si%len(marks)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(c.Width-1))
+			row := c.Height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(c.Height-1))
+			grid[row][col] = m
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", c.Title)
+	fmt.Fprintf(&b, "%s: %.4g .. %.4g\n", c.YLabel, minY, maxY)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "+%s\n", strings.Repeat("-", c.Width))
+	fmt.Fprintf(&b, "%s: %.4g .. %.4g\n", c.XLabel, minX, maxX)
+	for si, s := range c.series {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table IV", "Application", "Time (hr)", "Cost ($)")
+	tb.AddRow("galaxy(65536,8000)", 24.3, 98.74)
+	tb.AddRow("x264(8000,20)", 20.9, 8.75)
+	s := tb.String()
+	for _, want := range []string{"Table IV", "Application", "galaxy", "24.30", "8.75", "---"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "bbbbbb")
+	tb.AddRow("xxxxxxxx", 1.0)
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("line count = %d: %q", len(lines), lines)
+	}
+	// The header's second column must start at the same offset as the
+	// data row's.
+	if strings.Index(lines[0], "bbbbbb") != strings.Index(lines[2], "1.00") {
+		t.Fatalf("misaligned columns:\n%s", tb.String())
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(1.23456e9)
+	tb.AddRow(0.0000123)
+	tb.AddRow(math.NaN())
+	tb.AddRow(0.0)
+	s := tb.String()
+	for _, want := range []string{"1.23e+09", "1.23e-05", "-", "0.00"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("float formatting missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "x", "y")
+	tb.AddRow(1.0, "a,b")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.HasPrefix(got, "x,y\n") {
+		t.Fatalf("csv = %q", got)
+	}
+	if !strings.Contains(got, `"a,b"`) {
+		t.Fatalf("csv quoting broken: %q", got)
+	}
+}
+
+func TestChart(t *testing.T) {
+	c := NewChart("Fig 5a", "n", "$")
+	if err := c.Add(Series{Name: "24hr", X: []float64{1, 2, 3}, Y: []float64{10, 40, 90}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(Series{Name: "72hr", X: []float64{1, 2, 3}, Y: []float64{5, 20, 45}}); err != nil {
+		t.Fatal(err)
+	}
+	s := c.String()
+	for _, want := range []string{"Fig 5a", "o = 24hr", "+ = 72hr", "$: 5 .. 90"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chart missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestChartMismatchedSeries(t *testing.T) {
+	c := NewChart("x", "x", "y")
+	if err := c.Add(Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := NewChart("empty", "x", "y")
+	if !strings.Contains(c.String(), "no data") {
+		t.Fatalf("empty chart = %q", c.String())
+	}
+}
+
+func TestChartDegenerateRange(t *testing.T) {
+	c := NewChart("flat", "x", "y")
+	if err := c.Add(Series{Name: "s", X: []float64{5, 5}, Y: []float64{3, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	s := c.String() // must not panic or divide by zero
+	if !strings.Contains(s, "flat") {
+		t.Fatal("degenerate chart failed to render")
+	}
+}

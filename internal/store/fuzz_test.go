@@ -1,0 +1,59 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/ec2"
+)
+
+// FuzzLoad feeds arbitrary bytes to the characterization loader: it
+// must never panic, and anything it accepts must rebuild into a
+// working engine.
+func FuzzLoad(f *testing.F) {
+	f.Add(`{"version":1,"app":"g","demand":{"family":"f","bases":["n"],"coeffs":[1]},` +
+		`"capacities":[{"type":"c4.large","per_vcpu_gips":1}],"domain":{}}`)
+	f.Add(`{}`)
+	f.Add(`{"version":1`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		c, err := Load(strings.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// Accepted input must be internally consistent.
+		if c.App == "" || len(c.Demand.Bases) != len(c.Demand.Coeffs) {
+			t.Fatalf("validator let through inconsistent data: %+v", c)
+		}
+		// Rebuilding may fail (unknown bases, partial capacities) but
+		// must not panic.
+		_, _ = c.DemandModel()
+		_, _ = c.CapacityModel(ec2.Oregon())
+	})
+}
+
+// FuzzParseBasis: the basis parser must never panic and must round-trip
+// every name it accepts.
+func FuzzParseBasis(f *testing.F) {
+	for _, seed := range []string{"n", "n^2", "n*a", "n*ln(1+99*a)", "", "junk", "n*ln(1+-1*a)"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		b, err := demand.ParseBasis(name)
+		if err != nil {
+			return
+		}
+		if b.Name != name {
+			// The only allowed renaming is numeric formatting inside
+			// the log scale (e.g. "n*ln(1+09*a)" -> "n*ln(1+9*a)");
+			// re-parsing the canonical name must succeed.
+			if _, err := demand.ParseBasis(b.Name); err != nil {
+				t.Fatalf("canonical name %q of accepted input %q does not re-parse", b.Name, name)
+			}
+		}
+		if b.Eval == nil {
+			t.Fatalf("accepted basis %q has no evaluator", name)
+		}
+	})
+}

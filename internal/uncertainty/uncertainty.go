@@ -1,0 +1,181 @@
+// Package uncertainty propagates CELIA's measurement errors through
+// the time and cost models. The paper validates point predictions
+// (Table IV shows 3–17% errors); a production user also wants to know
+// how confident a configuration choice is. This package models the two
+// error sources the validation exposes — capacity measurement bias/
+// jitter and demand-model extrapolation error — and produces
+// prediction intervals and deadline-satisfaction confidence via seeded
+// Monte Carlo sampling.
+package uncertainty
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Sources quantifies relative measurement errors (1 σ).
+type Sources struct {
+	// CapacityRelSD: relative standard deviation of measured W_i,vCPU
+	// (processor-sharing jitter plus probe contamination).
+	CapacityRelSD float64
+	// CapacityBias: multiplicative bias of measured capacity (negative
+	// = under-measured, the Table IV regime for startup-contaminated
+	// probes).
+	CapacityBias float64
+	// DemandRelSD: relative standard deviation of the demand model's
+	// full-scale extrapolation.
+	DemandRelSD float64
+}
+
+// DefaultSources reflects this repository's measured validation: ~2%
+// instance jitter, capacities measured a few percent low, demand fits
+// within ~1%.
+func DefaultSources() Sources {
+	return Sources{CapacityRelSD: 0.02, CapacityBias: -0.05, DemandRelSD: 0.01}
+}
+
+// Validate rejects nonsensical error models.
+func (s Sources) Validate() error {
+	if s.CapacityRelSD < 0 || s.DemandRelSD < 0 {
+		return fmt.Errorf("uncertainty: negative standard deviation")
+	}
+	if s.CapacityBias <= -1 {
+		return fmt.Errorf("uncertainty: capacity bias %v implies non-positive capacity", s.CapacityBias)
+	}
+	return nil
+}
+
+// Interval is a central prediction interval.
+type Interval struct {
+	P05, P50, P95 float64
+	Mean          float64
+}
+
+// Prediction bundles time and cost intervals for one configuration.
+type Prediction struct {
+	Config       config.Tuple
+	TimeSeconds  Interval
+	CostUSD      Interval
+	DeadlineProb float64 // P(T < deadline); 1 when no deadline given
+}
+
+// Analyzer samples the models.
+type Analyzer struct {
+	Caps    *model.Capacities
+	Sources Sources
+	Billing model.Billing
+	Samples int
+	Seed    int64
+}
+
+// NewAnalyzer builds an analyzer with 2000 samples.
+func NewAnalyzer(caps *model.Capacities, src Sources) (*Analyzer, error) {
+	if caps == nil {
+		return nil, fmt.Errorf("uncertainty: nil capacities")
+	}
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	return &Analyzer{Caps: caps, Sources: src, Samples: 2000, Seed: 1}, nil
+}
+
+// Predict produces intervals for one (demand, configuration) pair.
+// deadline ≤ 0 means no deadline.
+func (a *Analyzer) Predict(d units.Instructions, t config.Tuple, deadline units.Seconds) (Prediction, error) {
+	if a.Samples < 10 {
+		return Prediction{}, fmt.Errorf("uncertainty: %d samples is too few", a.Samples)
+	}
+	base := a.Caps.Predict(d, t)
+	if math.IsInf(float64(base.Time), 1) {
+		return Prediction{}, fmt.Errorf("uncertainty: configuration %v has no capacity", t)
+	}
+	rng := rand.New(rand.NewSource(a.Seed))
+	times := make([]float64, a.Samples)
+	costs := make([]float64, a.Samples)
+	meet := 0
+	cu := float64(base.UnitCost)
+	for s := 0; s < a.Samples; s++ {
+		// True capacity relative to the measured one: remove the
+		// measurement bias, add per-run jitter.
+		capFactor := (1 + a.Sources.CapacityRelSD*rng.NormFloat64()) / (1 + a.Sources.CapacityBias)
+		demFactor := 1 + a.Sources.DemandRelSD*rng.NormFloat64()
+		if capFactor <= 0.01 {
+			capFactor = 0.01
+		}
+		if demFactor <= 0.01 {
+			demFactor = 0.01
+		}
+		T := float64(base.Time) * demFactor / capFactor
+		times[s] = T
+		costs[s] = float64(model.Bill(units.Seconds(T), units.USDPerHour(cu), a.Billing))
+		if deadline <= 0 || T < float64(deadline) {
+			meet++
+		}
+	}
+	sort.Float64s(times)
+	sort.Float64s(costs)
+	pred := Prediction{
+		Config:       t,
+		TimeSeconds:  interval(times),
+		CostUSD:      interval(costs),
+		DeadlineProb: float64(meet) / float64(a.Samples),
+	}
+	return pred, nil
+}
+
+func interval(sorted []float64) Interval {
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return Interval{
+		P05:  stats.Quantile(sorted, 0.05),
+		P50:  stats.Quantile(sorted, 0.50),
+		P95:  stats.Quantile(sorted, 0.95),
+		Mean: sum / float64(len(sorted)),
+	}
+}
+
+// RobustMinCost picks the cheapest configuration among the engine's
+// Pareto frontier whose deadline-satisfaction probability meets the
+// confidence threshold. It returns false when no frontier point is
+// confident enough — the caller should then relax the deadline or the
+// confidence.
+func RobustMinCost(eng *core.Engine, a *Analyzer, p workload.Params,
+	deadline units.Seconds, confidence float64) (Prediction, bool, error) {
+	if confidence <= 0 || confidence > 1 {
+		return Prediction{}, false, fmt.Errorf("uncertainty: confidence %v outside (0, 1]", confidence)
+	}
+	an, err := eng.Analyze(p, core.Constraints{Deadline: deadline}, core.Options{})
+	if err != nil {
+		return Prediction{}, false, err
+	}
+	d, err := eng.Demand(p)
+	if err != nil {
+		return Prediction{}, false, err
+	}
+	best := Prediction{}
+	bestCost := math.Inf(1)
+	found := false
+	for _, f := range an.Frontier {
+		pred, err := a.Predict(d, f.Config, deadline)
+		if err != nil {
+			return Prediction{}, false, err
+		}
+		if pred.DeadlineProb >= confidence && pred.CostUSD.Mean < bestCost {
+			best = pred
+			bestCost = pred.CostUSD.Mean
+			found = true
+		}
+	}
+	return best, found, nil
+}

@@ -1,0 +1,110 @@
+package validate
+
+import (
+	"testing"
+
+	"repro/internal/profile"
+)
+
+func TestPaperCasesShape(t *testing.T) {
+	cases := PaperCases()
+	if len(cases) != 9 {
+		t.Fatalf("Table IV has %d rows, want 9", len(cases))
+	}
+	byApp := map[string]int{}
+	for _, c := range cases {
+		byApp[c.App.Name()]++
+		if c.Config.IsEmpty() {
+			t.Errorf("%s: empty configuration", c.Name())
+		}
+	}
+	for _, app := range []string{"x264", "galaxy", "sand"} {
+		if byApp[app] != 3 {
+			t.Errorf("%s has %d rows, want 3", app, byApp[app])
+		}
+	}
+}
+
+func TestCaseName(t *testing.T) {
+	c := PaperCases()[5]
+	if c.Name() != "galaxy(65536,8000)" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestValidationErrorsWithinPaperBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full validation pipeline is compute-heavy")
+	}
+	rows, err := Run(profile.New(), PaperCases())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows, want 9", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's headline: prediction error below 17%.
+		if r.TimeErrPct > 17 {
+			t.Errorf("%s: time error %.1f%% exceeds the paper's 17%% bound (pred %v, actual %v)",
+				r.Case.Name(), r.TimeErrPct, r.PredictedTime, r.ActualTime)
+		}
+		if r.CostErrPct > 20 {
+			t.Errorf("%s: cost error %.1f%%", r.Case.Name(), r.CostErrPct)
+		}
+		// Error signs must match the paper: x264 and galaxy
+		// over-predicted, sand under-predicted.
+		switch r.Case.App.Name() {
+		case "x264", "galaxy":
+			if r.PredictedTime < r.ActualTime {
+				t.Errorf("%s: predicted %v < actual %v; paper over-predicts these apps",
+					r.Case.Name(), r.PredictedTime, r.ActualTime)
+			}
+		case "sand":
+			if r.PredictedTime > r.ActualTime {
+				t.Errorf("%s: predicted %v > actual %v; paper under-predicts sand",
+					r.Case.Name(), r.PredictedTime, r.ActualTime)
+			}
+		}
+		if r.TimeErrPct < 0.1 {
+			t.Errorf("%s: time error %.3f%% suspiciously low; the model should not be exact",
+				r.Case.Name(), r.TimeErrPct)
+		}
+	}
+	maxErr := MaxErrByApp(rows)
+	for app, e := range maxErr {
+		if e <= 0 || e > 17 {
+			t.Errorf("max error for %s = %.1f%%", app, e)
+		}
+	}
+}
+
+func TestCommAwarePredictionsImproveSand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full validation pipeline is compute-heavy")
+	}
+	rows, err := Run(profile.New(), PaperCases())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		switch r.Case.App.Name() {
+		case "sand":
+			// Sand is under-predicted because the base model drops the
+			// dispatch/communication term; adding it back must shrink
+			// the error.
+			if r.CommAwareErrPct >= r.TimeErrPct {
+				t.Errorf("%s: comm-aware error %.1f%% not below base %.1f%%",
+					r.Case.Name(), r.CommAwareErrPct, r.TimeErrPct)
+			}
+		case "x264":
+			// No communication: the extension must not change x264.
+			if r.CommAwareTime != r.PredictedTime {
+				t.Errorf("%s: comm model changed an independent app", r.Case.Name())
+			}
+		}
+		if r.CommAwareTime < r.PredictedTime {
+			t.Errorf("%s: comm-aware time below base prediction", r.Case.Name())
+		}
+	}
+}

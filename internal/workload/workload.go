@@ -1,0 +1,199 @@
+// Package workload defines the abstractions that connect elastic
+// applications to CELIA's models and to the cloud simulator: problem
+// parameters (size n and accuracy a), the App interface each elastic
+// application implements, and the execution Plan the simulator
+// schedules.
+//
+// The paper studies applications whose result accuracy is a function of
+// resource consumption; each app therefore exposes a resource-demand
+// function D(n, a) and a scale-down kernel that actually executes and is
+// measured with simulated perf counters.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/ec2"
+	"repro/internal/perf"
+	"repro/internal/units"
+)
+
+// Params identifies one problem instance P_{n,a}: problem size N and
+// accuracy A. Units are app-specific (x264: clips and compression factor
+// f; galaxy: masses and simulation steps s; sand: candidate sequences
+// and quality threshold t).
+type Params struct {
+	N float64 // problem size n
+	A float64 // accuracy a
+}
+
+func (p Params) String() string { return fmt.Sprintf("(n=%g, a=%g)", p.N, p.A) }
+
+// App is an elastic application. Implementations live in
+// internal/apps/{x264,galaxy,sand}.
+type App interface {
+	// Name is the short identifier used in reports ("x264", "galaxy",
+	// "sand").
+	Name() string
+
+	// AccuracyName is the paper's symbol for the accuracy parameter
+	// ("f", "s", "t").
+	AccuracyName() string
+
+	// Domain reports the valid parameter ranges for this app (used to
+	// validate queries and to build baseline grids).
+	Domain() Domain
+
+	// Demand is the application's ground-truth resource demand
+	// D_{P_{n,a}} in retired instructions. CELIA never reads this
+	// directly for prediction — it fits a model from baseline runs —
+	// but the kernels and the cloud simulator are built on it, and
+	// tests assert the fit recovers it.
+	Demand(p Params) units.Instructions
+
+	// RunBaseline executes the real scale-down kernel for p, accounting
+	// retired instructions into acct. It fails if p is outside the
+	// app's executable scale-down envelope.
+	RunBaseline(p Params, acct *perf.Account) error
+
+	// BaselineGrid returns the scale-down parameter grid used for
+	// demand characterization (the paper's P_{n',a'} runs).
+	BaselineGrid() []Params
+
+	// Plan describes how the full-scale problem decomposes into
+	// schedulable work for the cloud simulator.
+	Plan(p Params) Plan
+
+	// IPC reports the application's measured instructions-per-cycle per
+	// vCPU on the given resource category. This is a property of the
+	// application binary × micro-architecture pair (the paper measures
+	// it via baseline runs; our simulated world defines it and the
+	// profiling pipeline must recover it).
+	IPC(cat ec2.Category) float64
+}
+
+// PlanKind classifies an app's parallel structure, which determines how
+// the cloud simulator schedules it.
+type PlanKind int
+
+const (
+	// Independent: embarrassingly parallel independent tasks with no
+	// inter-node communication (x264 clip encoding).
+	Independent PlanKind = iota
+	// BSP: bulk-synchronous iterations with a global barrier and an
+	// exchange per step (galaxy's MPI n-body).
+	BSP
+	// MasterWorker: a master dispatches tasks to pulling workers over a
+	// work queue (sand on Work Queue).
+	MasterWorker
+)
+
+func (k PlanKind) String() string {
+	switch k {
+	case Independent:
+		return "independent"
+	case BSP:
+		return "bsp"
+	case MasterWorker:
+		return "master-worker"
+	default:
+		return fmt.Sprintf("PlanKind(%d)", int(k))
+	}
+}
+
+// Plan is the schedulable decomposition of one problem instance.
+// Exactly the fields relevant to Kind are meaningful.
+type Plan struct {
+	Kind PlanKind
+
+	// Independent / MasterWorker: the task list. TaskInstr(i) is the
+	// demand of task i; Σ TaskInstr(i) plus any fixed parts equals
+	// Demand(p) (asserted by tests).
+	Tasks     int
+	TaskInstr func(i int) units.Instructions
+
+	// BSP: Steps iterations over Elements divisible work units, each
+	// unit costing InstrPerElement per step. CommBytesPerStep is the
+	// per-step global exchange volume.
+	Steps            int
+	Elements         int
+	InstrPerElement  units.Instructions
+	CommBytesPerStep float64
+
+	// MasterWorker: master-side serialized cost per task dispatch, and
+	// input bytes shipped through the master's network link per task
+	// (zero when workers fetch inputs themselves, as x264's do).
+	DispatchInstr units.Instructions
+	BytesPerTask  float64
+}
+
+// TotalInstr sums the plan's demand, which must equal the app's
+// Demand(p) (modulo per-task rounding).
+func (pl Plan) TotalInstr() units.Instructions {
+	switch pl.Kind {
+	case Independent, MasterWorker:
+		var sum units.Instructions
+		for i := 0; i < pl.Tasks; i++ {
+			sum += pl.TaskInstr(i)
+		}
+		return sum
+	case BSP:
+		return units.Instructions(float64(pl.Steps) * float64(pl.Elements) * float64(pl.InstrPerElement))
+	default:
+		return 0
+	}
+}
+
+// Validate checks internal consistency of the plan.
+func (pl Plan) Validate() error {
+	switch pl.Kind {
+	case Independent:
+		if pl.Tasks <= 0 || pl.TaskInstr == nil {
+			return fmt.Errorf("workload: independent plan needs tasks (%d) and TaskInstr", pl.Tasks)
+		}
+	case MasterWorker:
+		if pl.Tasks <= 0 || pl.TaskInstr == nil {
+			return fmt.Errorf("workload: master-worker plan needs tasks (%d) and TaskInstr", pl.Tasks)
+		}
+	case BSP:
+		if pl.Steps <= 0 || pl.Elements <= 0 || pl.InstrPerElement <= 0 {
+			return fmt.Errorf("workload: bsp plan needs steps (%d), elements (%d), instr/element (%v)",
+				pl.Steps, pl.Elements, pl.InstrPerElement)
+		}
+	default:
+		return fmt.Errorf("workload: unknown plan kind %v", pl.Kind)
+	}
+	return nil
+}
+
+// Domain bounds the valid parameters of an app and its executable
+// scale-down envelope.
+type Domain struct {
+	MinN, MaxN float64 // valid problem-size range for model queries
+	MinA, MaxA float64 // valid accuracy range for model queries
+	// Scale-down envelope: the largest baseline the kernel will
+	// actually execute (RunBaseline rejects larger requests).
+	MaxBaselineN, MaxBaselineA float64
+}
+
+// CheckParams validates p against the model-query domain.
+func (d Domain) CheckParams(p Params) error {
+	if p.N < d.MinN || p.N > d.MaxN {
+		return fmt.Errorf("workload: n=%g outside [%g, %g]", p.N, d.MinN, d.MaxN)
+	}
+	if p.A < d.MinA || p.A > d.MaxA {
+		return fmt.Errorf("workload: a=%g outside [%g, %g]", p.A, d.MinA, d.MaxA)
+	}
+	return nil
+}
+
+// CheckBaseline validates p against the executable scale-down envelope.
+func (d Domain) CheckBaseline(p Params) error {
+	if p.N <= 0 || p.N > d.MaxBaselineN {
+		return fmt.Errorf("workload: baseline n=%g outside (0, %g]", p.N, d.MaxBaselineN)
+	}
+	if p.A < d.MinA || p.A > d.MaxBaselineA {
+		return fmt.Errorf("workload: baseline a=%g outside [%g, %g]", p.A, d.MinA, d.MaxBaselineA)
+	}
+	return nil
+}

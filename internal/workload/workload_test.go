@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestPlanKindString(t *testing.T) {
+	cases := []struct {
+		k    PlanKind
+		want string
+	}{
+		{Independent, "independent"},
+		{BSP, "bsp"},
+		{MasterWorker, "master-worker"},
+		{PlanKind(99), "PlanKind(99)"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int(c.k), got, c.want)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	ok := Plan{Kind: Independent, Tasks: 3, TaskInstr: func(int) units.Instructions { return 1 }}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad := []Plan{
+		{Kind: Independent, Tasks: 0, TaskInstr: func(int) units.Instructions { return 1 }},
+		{Kind: Independent, Tasks: 3},
+		{Kind: MasterWorker, Tasks: -1, TaskInstr: func(int) units.Instructions { return 1 }},
+		{Kind: BSP, Steps: 0, Elements: 10, InstrPerElement: 1},
+		{Kind: BSP, Steps: 10, Elements: 0, InstrPerElement: 1},
+		{Kind: BSP, Steps: 10, Elements: 10, InstrPerElement: 0},
+		{Kind: PlanKind(42)},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("invalid plan %d accepted", i)
+		}
+	}
+}
+
+func TestPlanTotalInstr(t *testing.T) {
+	indep := Plan{Kind: Independent, Tasks: 4, TaskInstr: func(i int) units.Instructions {
+		return units.Instructions(10 * (i + 1))
+	}}
+	if got := float64(indep.TotalInstr()); got != 100 {
+		t.Fatalf("independent total = %v, want 100", got)
+	}
+	bsp := Plan{Kind: BSP, Steps: 3, Elements: 5, InstrPerElement: 7}
+	if got := float64(bsp.TotalInstr()); got != 105 {
+		t.Fatalf("bsp total = %v, want 105", got)
+	}
+	if got := float64(Plan{Kind: PlanKind(42)}.TotalInstr()); got != 0 {
+		t.Fatalf("unknown kind total = %v, want 0", got)
+	}
+}
+
+func TestDomainCheckParams(t *testing.T) {
+	d := Domain{MinN: 10, MaxN: 100, MinA: 1, MaxA: 5, MaxBaselineN: 20, MaxBaselineA: 2}
+	if err := d.CheckParams(Params{N: 50, A: 3}); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	for _, p := range []Params{{N: 5, A: 3}, {N: 500, A: 3}, {N: 50, A: 0}, {N: 50, A: 9}} {
+		if err := d.CheckParams(p); err == nil {
+			t.Errorf("out-of-domain %v accepted", p)
+		}
+	}
+}
+
+func TestDomainCheckBaseline(t *testing.T) {
+	d := Domain{MinN: 10, MaxN: 100, MinA: 1, MaxA: 5, MaxBaselineN: 20, MaxBaselineA: 2}
+	if err := d.CheckBaseline(Params{N: 15, A: 2}); err != nil {
+		t.Fatalf("valid baseline rejected: %v", err)
+	}
+	// Baseline sizes may go below MinN (scale-down), but not above the
+	// envelope or to zero.
+	if err := d.CheckBaseline(Params{N: 5, A: 1}); err != nil {
+		t.Fatalf("scale-down below MinN rejected: %v", err)
+	}
+	for _, p := range []Params{{N: 0, A: 1}, {N: 25, A: 1}, {N: 15, A: 3}} {
+		if err := d.CheckBaseline(p); err == nil {
+			t.Errorf("out-of-envelope %v accepted", p)
+		}
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	s := Params{N: 65536, A: 8000}.String()
+	if !strings.Contains(s, "65536") || !strings.Contains(s, "8000") {
+		t.Fatalf("Params.String() = %q", s)
+	}
+}

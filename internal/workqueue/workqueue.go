@@ -1,0 +1,161 @@
+// Package workqueue is a small master/worker execution platform in the
+// style of the Work Queue framework [23] the paper's SAND application
+// is built on: a master owns a task list, workers pull tasks
+// concurrently, failed tasks are retried, and results are collected in
+// completion order. The sand kernel runs its real alignment batches
+// through it, so the baseline measurements exercise the same
+// master/worker structure the cloud simulator schedules at full scale.
+package workqueue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is one unit of work. Execute runs on a worker goroutine; it
+// must be safe to run concurrently with other tasks and to re-run
+// after a failure.
+type Task interface {
+	Execute(ctx context.Context) (interface{}, error)
+}
+
+// TaskFunc adapts a function to the Task interface.
+type TaskFunc func(ctx context.Context) (interface{}, error)
+
+// Execute implements Task.
+func (f TaskFunc) Execute(ctx context.Context) (interface{}, error) { return f(ctx) }
+
+// Result pairs a task index with its outcome.
+type Result struct {
+	Index    int
+	Value    interface{}
+	Err      error
+	Attempts int
+	Worker   int
+}
+
+// Stats summarizes a completed run.
+type Stats struct {
+	Tasks     int
+	Succeeded int
+	Failed    int
+	Retries   int
+}
+
+// Master coordinates one run. Create with New, add tasks, then Run.
+type Master struct {
+	workers    int
+	maxRetries int
+	tasks      []Task
+}
+
+// New builds a master with the given worker pool width. Workers must
+// be positive.
+func New(workers int) (*Master, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("workqueue: %d workers", workers)
+	}
+	return &Master{workers: workers, maxRetries: 1}, nil
+}
+
+// SetMaxRetries configures how many times a failing task is re-run
+// before its error is reported (default 1 retry).
+func (m *Master) SetMaxRetries(n int) error {
+	if n < 0 {
+		return fmt.Errorf("workqueue: negative retries %d", n)
+	}
+	m.maxRetries = n
+	return nil
+}
+
+// Submit appends a task and returns its index.
+func (m *Master) Submit(t Task) int {
+	m.tasks = append(m.tasks, t)
+	return len(m.tasks) - 1
+}
+
+// ErrCanceled reports a run aborted by context cancellation.
+var ErrCanceled = errors.New("workqueue: run canceled")
+
+// Run executes all submitted tasks on the worker pool and returns
+// results indexed by task. It blocks until all tasks finish (or the
+// context is canceled). The master can be reused after Run returns.
+func (m *Master) Run(ctx context.Context) ([]Result, Stats, error) {
+	n := len(m.tasks)
+	results := make([]Result, n)
+	var stats Stats
+	stats.Tasks = n
+	if n == 0 {
+		return results, stats, nil
+	}
+
+	type item struct {
+		idx     int
+		attempt int
+	}
+	queue := make(chan item, n)
+	for i := range m.tasks {
+		queue <- item{idx: i, attempt: 1}
+	}
+
+	var pending atomic.Int64
+	pending.Store(int64(n))
+	var retries atomic.Int64
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	var canceled atomic.Bool
+
+	workers := m.workers
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					canceled.Store(true)
+					return
+				case <-done:
+					return
+				case it := <-queue:
+					v, err := m.tasks[it.idx].Execute(ctx)
+					if err != nil && it.attempt <= m.maxRetries {
+						retries.Add(1)
+						queue <- item{idx: it.idx, attempt: it.attempt + 1}
+						continue
+					}
+					results[it.idx] = Result{
+						Index:    it.idx,
+						Value:    v,
+						Err:      err,
+						Attempts: it.attempt,
+						Worker:   worker,
+					}
+					if pending.Add(-1) == 0 {
+						close(done)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if canceled.Load() && pending.Load() > 0 {
+		return nil, Stats{}, ErrCanceled
+	}
+
+	stats.Retries = int(retries.Load())
+	for _, r := range results {
+		if r.Err != nil {
+			stats.Failed++
+		} else {
+			stats.Succeeded++
+		}
+	}
+	return results, stats, nil
+}

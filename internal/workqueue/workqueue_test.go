@@ -1,0 +1,196 @@
+package workqueue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunAllTasks(t *testing.T) {
+	m, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		i := i
+		m.Submit(TaskFunc(func(context.Context) (interface{}, error) { return i * i, nil }))
+	}
+	results, stats, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tasks != n || stats.Succeeded != n || stats.Failed != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	for i, r := range results {
+		if r.Err != nil || r.Value.(int) != i*i {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+		if r.Attempts != 1 {
+			t.Fatalf("result %d took %d attempts", i, r.Attempts)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	m, _ := New(1)
+	if err := m.SetMaxRetries(-1); err == nil {
+		t.Fatal("negative retries accepted")
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	m, _ := New(3)
+	results, stats, err := m.Run(context.Background())
+	if err != nil || len(results) != 0 || stats.Tasks != 0 {
+		t.Fatalf("empty run: %v %v %v", results, stats, err)
+	}
+}
+
+func TestRetriesTransientFailures(t *testing.T) {
+	m, _ := New(2)
+	if err := m.SetMaxRetries(3); err != nil {
+		t.Fatal(err)
+	}
+	var tries atomic.Int32
+	m.Submit(TaskFunc(func(context.Context) (interface{}, error) {
+		if tries.Add(1) < 3 {
+			return nil, errors.New("flaky")
+		}
+		return "ok", nil
+	}))
+	results, stats, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[0].Value != "ok" {
+		t.Fatalf("result = %+v", results[0])
+	}
+	if results[0].Attempts != 3 || stats.Retries != 2 {
+		t.Fatalf("attempts=%d retries=%d, want 3/2", results[0].Attempts, stats.Retries)
+	}
+}
+
+func TestPermanentFailureReported(t *testing.T) {
+	m, _ := New(2)
+	m.Submit(TaskFunc(func(context.Context) (interface{}, error) {
+		return nil, errors.New("broken")
+	}))
+	m.Submit(TaskFunc(func(context.Context) (interface{}, error) { return 1, nil }))
+	results, stats, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failed != 1 || stats.Succeeded != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if results[0].Err == nil || results[0].Attempts != 2 {
+		t.Fatalf("failed task = %+v (default 1 retry)", results[0])
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	m, _ := New(2)
+	started := make(chan struct{}, 64)
+	for i := 0; i < 64; i++ {
+		m.Submit(TaskFunc(func(ctx context.Context) (interface{}, error) {
+			started <- struct{}{}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(10 * time.Second):
+				return nil, nil
+			}
+		}))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, _, err := m.Run(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestWorkDistribution(t *testing.T) {
+	// With blocking tasks and several workers, more than one worker id
+	// must appear in the results.
+	m, _ := New(4)
+	const n = 40
+	for i := 0; i < n; i++ {
+		m.Submit(TaskFunc(func(context.Context) (interface{}, error) {
+			time.Sleep(time.Millisecond)
+			return nil, nil
+		}))
+	}
+	results, _, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := map[int]bool{}
+	for _, r := range results {
+		workers[r.Worker] = true
+	}
+	if len(workers) < 2 {
+		t.Fatalf("only %d workers participated", len(workers))
+	}
+}
+
+func TestMasterReuse(t *testing.T) {
+	m, _ := New(2)
+	m.Submit(TaskFunc(func(context.Context) (interface{}, error) { return "a", nil }))
+	if _, _, err := m.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m.Submit(TaskFunc(func(context.Context) (interface{}, error) { return "b", nil }))
+	results, stats, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tasks != 2 || results[1].Value != "b" {
+		t.Fatalf("reuse broken: %+v", stats)
+	}
+}
+
+func TestManyMoreWorkersThanTasks(t *testing.T) {
+	m, _ := New(64)
+	m.Submit(TaskFunc(func(context.Context) (interface{}, error) { return 42, nil }))
+	results, _, err := m.Run(context.Background())
+	if err != nil || results[0].Value != 42 {
+		t.Fatalf("%v %v", results, err)
+	}
+}
+
+func BenchmarkThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, _ := New(8)
+		for k := 0; k < 1000; k++ {
+			m.Submit(TaskFunc(func(context.Context) (interface{}, error) { return nil, nil }))
+		}
+		if _, _, err := m.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleMaster() {
+	m, _ := New(4)
+	for i := 1; i <= 3; i++ {
+		i := i
+		m.Submit(TaskFunc(func(context.Context) (interface{}, error) {
+			return i * 10, nil
+		}))
+	}
+	results, stats, _ := m.Run(context.Background())
+	fmt.Println(stats.Succeeded, results[0].Value, results[1].Value, results[2].Value)
+	// Output: 3 10 20 30
+}
