@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/pareto"
 	"repro/internal/profile"
 	"repro/internal/report"
+	"repro/internal/serving"
 	"repro/internal/spot"
 	"repro/internal/sweep"
 	"repro/internal/uncertainty"
@@ -634,4 +636,52 @@ func BenchmarkExtensionTradeSurface(b *testing.B) {
 			"3-D accuracy/time/cost surface over s=%v: %d nondominated points (per rung: %v)",
 			rungs, len(surface), byRung))
 	}
+}
+
+// BenchmarkServingColdVsCached measures the serving layer added in
+// front of the engines (internal/serving): one full census through the
+// frontdoor with caching off, then the cache-hit path for the same
+// query. The cached path must be ≥ 100× faster than the cold census
+// (in practice the gap is ~10⁶: a map lookup vs 10M model
+// evaluations); the asserting test is
+// internal/serving.TestCachedPathSpeedup.
+func BenchmarkServingColdVsCached(b *testing.B) {
+	engines := map[string]*core.Engine{"galaxy": core.NewPaperEngine(galaxy.App{})}
+	q := serving.Query{Kind: "analyze", App: "galaxy", N: 65536, A: 8000,
+		DeadlineHours: 24, BudgetUSD: 350}
+	compute := func(eng *core.Engine) ([]byte, error) {
+		an, err := eng.Analyze(workload.Params{N: q.N, A: q.A}, core.Constraints{
+			Deadline: units.FromHours(q.DeadlineHours), Budget: units.USD(q.BudgetUSD),
+		}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return []byte(fmt.Sprintf("feasible=%d frontier=%d", an.Feasible, len(an.Frontier))), nil
+	}
+	b.Run("cold", func(b *testing.B) {
+		fd, err := serving.NewFrontdoor(engines, serving.Config{CacheBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fd.Do(context.Background(), q, compute); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		fd, err := serving.NewFrontdoor(engines, serving.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := fd.Do(context.Background(), q, compute); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, st, err := fd.Do(context.Background(), q, compute); err != nil || st != serving.StatusHit {
+				b.Fatalf("status %v, err %v", st, err)
+			}
+		}
+	})
 }

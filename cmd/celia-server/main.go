@@ -1,5 +1,8 @@
 // Command celia-server exposes the CELIA engines over HTTP as a JSON
-// service (see internal/api for the endpoint contract).
+// service (see internal/api for the endpoint contract). Queries are
+// served through internal/serving: an LRU result cache, singleflight
+// request coalescing, and admission control sized from the machine's
+// CPU count, with serving metrics at GET /debug/metrics.
 //
 // By default it serves ground-truth engines for all three paper
 // applications; with -characterization files it serves engines rebuilt
@@ -7,24 +10,33 @@
 //
 // Example:
 //
-//	celia-server -addr :8080
+//	celia-server -addr :8080 -cache-mb 64 -cache-ttl 15m -max-concurrent 8
 //	curl -s localhost:8080/v1/apps
 //	curl -s -X POST localhost:8080/v1/mincost \
 //	  -d '{"app":"galaxy","n":65536,"a":8000,"deadline_hours":24}'
+//	curl -s localhost:8080/debug/metrics
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight analyses for up to -drain-timeout before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/api"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/ec2"
+	"repro/internal/serving"
 	"repro/internal/store"
 )
 
@@ -35,6 +47,13 @@ func main() {
 		addr  = flag.String("addr", ":8080", "listen address")
 		chars = flag.String("characterizations", "", "comma-separated characterization JSON files (default: ground-truth engines for all apps)")
 		nodes = flag.Int("max-nodes", 5, "per-type node limit of the configuration space")
+
+		cacheMB  = flag.Int("cache-mb", 64, "result cache capacity in MiB (0 disables caching)")
+		cacheTTL = flag.Duration("cache-ttl", 15*time.Minute, "result cache entry lifetime (0 = never expire)")
+		maxConc  = flag.Int("max-concurrent", 0, "concurrent engine runs (0 = number of CPUs)")
+		queue    = flag.Int("queue-depth", 0, "admitted requests waiting beyond the worker pool (0 = 4x max-concurrent, -1 = none)")
+		reqTO    = flag.Duration("request-timeout", 60*time.Second, "per-request deadline from admission to completion")
+		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
 	)
 	flag.Parse()
 
@@ -72,7 +91,25 @@ func main() {
 		}
 	}
 
-	srv, err := api.NewServer(engines)
+	cacheBytes := int64(*cacheMB) << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1 // disabled
+	}
+	ttl := *cacheTTL
+	if ttl <= 0 {
+		ttl = -1 // never expire
+	}
+	fd, err := serving.NewFrontdoor(engines, serving.Config{
+		CacheBytes:     cacheBytes,
+		CacheTTL:       ttl,
+		MaxConcurrent:  *maxConc,
+		QueueDepth:     *queue,
+		RequestTimeout: *reqTO,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := api.NewServer(fd)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +117,35 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		// Analyses can legitimately take tens of seconds under load;
+		// the write timeout must outlast the request deadline.
+		WriteTimeout: *reqTO + 10*time.Second,
+		IdleTimeout:  120 * time.Second,
 	}
-	log.Printf("serving %d engines on %s", len(engines), *addr)
-	log.Fatal(httpSrv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	log.Printf("serving %d engines on %s (cache %d MiB, ttl %v, %d workers)",
+		len(engines), *addr, *cacheMB, *cacheTTL, *maxConc)
+
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received, draining for up to %v", *drainTO)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("drain incomplete: %v", err)
+		}
+		if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		log.Printf("drained, bye")
+	}
 }

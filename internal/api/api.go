@@ -1,7 +1,10 @@
 // Package api exposes the CELIA engine over HTTP as a small JSON
 // service, so non-Go clients (dashboards, schedulers, CI) can query
-// cost-time optimal configurations. One engine is mounted per
-// application; all handlers are read-only and safe for concurrent use.
+// cost-time optimal configurations. All query endpoints are served
+// through a serving.Frontdoor — an LRU result cache, singleflight
+// request coalescing, and admission control in front of the analytic
+// kernel — so identical concurrent queries cost one engine run and
+// load spikes are shed with 429 instead of piling up goroutines.
 //
 //	GET  /v1/apps                    list mounted applications
 //	POST /v1/analyze                 full census + Pareto frontier
@@ -9,39 +12,70 @@
 //	POST /v1/mintime                 fastest configuration within a budget
 //	POST /v1/maxaccuracy             largest feasible accuracy
 //	GET  /healthz                    liveness
+//	GET  /debug/metrics              serving + HTTP metrics (JSON)
+//
+// Contract notes:
+//
+//   - Request bodies are limited to 1 MiB; larger bodies get 413.
+//   - Every error response is the JSON envelope {"error": "..."}.
+//   - The Request.Confidence field is reserved for future robust
+//     queries and is not implemented: non-zero values are rejected
+//     with 400 rather than silently ignored.
+//   - When the serving layer is saturated the response is 429 with a
+//     Retry-After header; clients should back off and retry.
+//   - Responses carry an X-Cache header (hit, miss, or coalesced).
 package api
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
-	"sort"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/serving"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
 
-// Server routes requests to per-application engines.
+// maxBodyBytes bounds request bodies: the largest legitimate query is
+// a few hundred bytes of JSON.
+const maxBodyBytes = 1 << 20
+
+// Server routes requests through a serving.Frontdoor.
 type Server struct {
-	engines map[string]*core.Engine
-	mux     *http.ServeMux
+	fd  *serving.Frontdoor
+	reg *telemetry.Registry
+	mux *http.ServeMux
 }
 
-// NewServer mounts the given engines. The map must not be mutated
-// afterwards.
-func NewServer(engines map[string]*core.Engine) (*Server, error) {
-	if len(engines) == 0 {
-		return nil, fmt.Errorf("api: no engines to serve")
+// NewServer mounts the query endpoints over the given frontdoor.
+func NewServer(fd *serving.Frontdoor) (*Server, error) {
+	if fd == nil {
+		return nil, fmt.Errorf("api: nil frontdoor")
 	}
-	s := &Server{engines: engines, mux: http.NewServeMux()}
+	s := &Server{fd: fd, reg: fd.Metrics(), mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/apps", s.handleApps)
-	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
-	s.mux.HandleFunc("POST /v1/mincost", s.handleMinCost)
-	s.mux.HandleFunc("POST /v1/mintime", s.handleMinTime)
-	s.mux.HandleFunc("POST /v1/maxaccuracy", s.handleMaxAccuracy)
+	s.mux.HandleFunc("GET /v1/apps", s.instrument("apps", s.handleApps))
+	s.mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	s.mux.HandleFunc("POST /v1/mincost", s.instrument("mincost", s.handleMinCost))
+	s.mux.HandleFunc("POST /v1/mintime", s.instrument("mintime", s.handleMinTime))
+	s.mux.HandleFunc("POST /v1/maxaccuracy", s.instrument("maxaccuracy", s.handleMaxAccuracy))
+	s.mux.Handle("GET /debug/metrics", s.reg.Handler())
 	return s, nil
+}
+
+// NewServerFromEngines is a convenience for tests and small tools: it
+// wraps the engines in a default-configured frontdoor.
+func NewServerFromEngines(engines map[string]*core.Engine) (*Server, error) {
+	fd, err := serving.NewFrontdoor(engines, serving.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return NewServer(fd)
 }
 
 // ServeHTTP implements http.Handler.
@@ -57,7 +91,8 @@ type Request struct {
 	BudgetUSD float64 `json:"budget_usd,omitempty"`
 	// MaxFrontier caps frontier rows in analyze responses (default 100).
 	MaxFrontier int `json:"max_frontier,omitempty"`
-	// Confidence is unused today; reserved for robust queries.
+	// Confidence is reserved for robust queries and not implemented;
+	// non-zero values are rejected with 400.
 	Confidence float64 `json:"confidence,omitempty"`
 }
 
@@ -95,70 +130,109 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleApps(w http.ResponseWriter, _ *http.Request) {
-	names := make([]string, 0, len(s.engines))
-	for n := range s.engines {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	writeJSON(w, http.StatusOK, map[string][]string{"apps": names})
+	writeJSON(w, http.StatusOK, map[string][]string{"apps": s.fd.Apps()})
 }
 
 // decode parses and validates the common request body.
-func (s *Server) decode(w http.ResponseWriter, r *http.Request) (*core.Engine, Request, bool) {
+func (s *Server) decode(w http.ResponseWriter, r *http.Request) (Request, bool) {
 	var req Request
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request body: %v", err)})
-		return nil, Request{}, false
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{fmt.Sprintf("request body exceeds %d bytes", maxBodyBytes)})
+		} else {
+			writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request body: %v", err)})
+		}
+		return Request{}, false
 	}
-	eng, ok := s.engines[req.App]
-	if !ok {
+	if _, ok := s.fd.Engine(req.App); !ok {
 		writeJSON(w, http.StatusNotFound, errorBody{fmt.Sprintf("unknown app %q", req.App)})
-		return nil, Request{}, false
+		return Request{}, false
 	}
 	if req.DeadlineH < 0 || req.BudgetUSD < 0 {
 		writeJSON(w, http.StatusBadRequest, errorBody{"negative deadline or budget"})
-		return nil, Request{}, false
+		return Request{}, false
 	}
-	return eng, req, true
+	if req.Confidence != 0 {
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{"confidence is reserved for future robust queries and must be omitted or zero"})
+		return Request{}, false
+	}
+	return req, true
+}
+
+// serve runs a query through the frontdoor and writes the outcome.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, q serving.Query, compute func(*core.Engine) ([]byte, error)) {
+	body, status, err := s.fd.Do(r.Context(), q, compute)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", status.String())
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// writeError maps serving and engine errors to HTTP statuses: overload
+// → 429 + Retry-After, unknown app → 404, request-context expiry →
+// 503, anything else (domain/model errors) → 422.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, serving.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{err.Error()})
+	case errors.Is(err, serving.ErrUnknownApp):
+		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
+	default:
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{err.Error()})
+	}
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	eng, req, ok := s.decode(w, r)
+	req, ok := s.decode(w, r)
 	if !ok {
-		return
-	}
-	an, err := eng.Analyze(workload.Params{N: req.N, A: req.A}, core.Constraints{
-		Deadline: units.FromHours(req.DeadlineH),
-		Budget:   units.USD(req.BudgetUSD),
-	}, core.Options{})
-	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorBody{err.Error()})
 		return
 	}
 	maxRows := req.MaxFrontier
 	if maxRows <= 0 {
 		maxRows = 100
 	}
-	resp := AnalyzeResponse{App: req.App, Total: an.Total, Feasible: an.Feasible}
-	lo, hi, _ := an.CostSpan()
-	resp.CostLowUSD, resp.CostHiUSD = float64(lo), float64(hi)
-	for i, f := range an.Frontier {
-		if i >= maxRows {
-			break
+	q := serving.Query{Kind: "analyze", App: req.App, N: req.N, A: req.A,
+		DeadlineHours: req.DeadlineH, BudgetUSD: req.BudgetUSD, MaxFrontier: maxRows}
+	s.serve(w, r, q, func(eng *core.Engine) ([]byte, error) {
+		an, err := eng.Analyze(workload.Params{N: req.N, A: req.A}, core.Constraints{
+			Deadline: units.FromHours(req.DeadlineH),
+			Budget:   units.USD(req.BudgetUSD),
+		}, core.Options{})
+		if err != nil {
+			return nil, err
 		}
-		resp.Frontier = append(resp.Frontier, ConfigResult{
-			Config:    f.Config.Counts(),
-			TimeHours: f.Time.Hours(),
-			CostUSD:   float64(f.Cost),
-		})
-	}
-	writeJSON(w, http.StatusOK, resp)
+		resp := AnalyzeResponse{App: req.App, Total: an.Total, Feasible: an.Feasible}
+		lo, hi, _ := an.CostSpan()
+		resp.CostLowUSD, resp.CostHiUSD = float64(lo), float64(hi)
+		for i, f := range an.Frontier {
+			if i >= maxRows {
+				break
+			}
+			resp.Frontier = append(resp.Frontier, ConfigResult{
+				Config:    f.Config.Counts(),
+				TimeHours: f.Time.Hours(),
+				CostUSD:   float64(f.Cost),
+			})
+		}
+		return json.Marshal(resp)
+	})
 }
 
 func (s *Server) handleMinCost(w http.ResponseWriter, r *http.Request) {
-	eng, req, ok := s.decode(w, r)
+	req, ok := s.decode(w, r)
 	if !ok {
 		return
 	}
@@ -166,25 +240,27 @@ func (s *Server) handleMinCost(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{"mincost requires deadline_hours"})
 		return
 	}
-	pred, feasible, err := eng.MinCostForDeadline(workload.Params{N: req.N, A: req.A},
-		units.FromHours(req.DeadlineH))
-	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorBody{err.Error()})
-		return
-	}
-	resp := OptimizeResponse{App: req.App, Feasible: feasible}
-	if feasible {
-		resp.Best = &ConfigResult{
-			Config:    pred.Config.Counts(),
-			TimeHours: pred.Time.Hours(),
-			CostUSD:   float64(pred.Cost),
+	q := serving.Query{Kind: "mincost", App: req.App, N: req.N, A: req.A, DeadlineHours: req.DeadlineH}
+	s.serve(w, r, q, func(eng *core.Engine) ([]byte, error) {
+		pred, feasible, err := eng.MinCostForDeadline(workload.Params{N: req.N, A: req.A},
+			units.FromHours(req.DeadlineH))
+		if err != nil {
+			return nil, err
 		}
-	}
-	writeJSON(w, http.StatusOK, resp)
+		resp := OptimizeResponse{App: req.App, Feasible: feasible}
+		if feasible {
+			resp.Best = &ConfigResult{
+				Config:    pred.Config.Counts(),
+				TimeHours: pred.Time.Hours(),
+				CostUSD:   float64(pred.Cost),
+			}
+		}
+		return json.Marshal(resp)
+	})
 }
 
 func (s *Server) handleMinTime(w http.ResponseWriter, r *http.Request) {
-	eng, req, ok := s.decode(w, r)
+	req, ok := s.decode(w, r)
 	if !ok {
 		return
 	}
@@ -192,25 +268,27 @@ func (s *Server) handleMinTime(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{"mintime requires budget_usd"})
 		return
 	}
-	pred, feasible, err := eng.MinTimeForBudget(workload.Params{N: req.N, A: req.A},
-		units.USD(req.BudgetUSD))
-	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorBody{err.Error()})
-		return
-	}
-	resp := OptimizeResponse{App: req.App, Feasible: feasible}
-	if feasible {
-		resp.Best = &ConfigResult{
-			Config:    pred.Config.Counts(),
-			TimeHours: pred.Time.Hours(),
-			CostUSD:   float64(pred.Cost),
+	q := serving.Query{Kind: "mintime", App: req.App, N: req.N, A: req.A, BudgetUSD: req.BudgetUSD}
+	s.serve(w, r, q, func(eng *core.Engine) ([]byte, error) {
+		pred, feasible, err := eng.MinTimeForBudget(workload.Params{N: req.N, A: req.A},
+			units.USD(req.BudgetUSD))
+		if err != nil {
+			return nil, err
 		}
-	}
-	writeJSON(w, http.StatusOK, resp)
+		resp := OptimizeResponse{App: req.App, Feasible: feasible}
+		if feasible {
+			resp.Best = &ConfigResult{
+				Config:    pred.Config.Counts(),
+				TimeHours: pred.Time.Hours(),
+				CostUSD:   float64(pred.Cost),
+			}
+		}
+		return json.Marshal(resp)
+	})
 }
 
 func (s *Server) handleMaxAccuracy(w http.ResponseWriter, r *http.Request) {
-	eng, req, ok := s.decode(w, r)
+	req, ok := s.decode(w, r)
 	if !ok {
 		return
 	}
@@ -218,24 +296,53 @@ func (s *Server) handleMaxAccuracy(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{"maxaccuracy requires a deadline or a budget"})
 		return
 	}
-	p, pred, feasible, err := eng.MaxAccuracy(req.N, core.Constraints{
-		Deadline: units.FromHours(req.DeadlineH),
-		Budget:   units.USD(req.BudgetUSD),
-	}, 1e-3)
-	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorBody{err.Error()})
-		return
-	}
-	resp := OptimizeResponse{App: req.App, Feasible: feasible}
-	if feasible {
-		resp.Accuracy = p.A
-		resp.Best = &ConfigResult{
-			Config:    pred.Config.Counts(),
-			TimeHours: pred.Time.Hours(),
-			CostUSD:   float64(pred.Cost),
+	q := serving.Query{Kind: "maxaccuracy", App: req.App, N: req.N,
+		DeadlineHours: req.DeadlineH, BudgetUSD: req.BudgetUSD}
+	s.serve(w, r, q, func(eng *core.Engine) ([]byte, error) {
+		p, pred, feasible, err := eng.MaxAccuracy(req.N, core.Constraints{
+			Deadline: units.FromHours(req.DeadlineH),
+			Budget:   units.USD(req.BudgetUSD),
+		}, 1e-3)
+		if err != nil {
+			return nil, err
 		}
+		resp := OptimizeResponse{App: req.App, Feasible: feasible}
+		if feasible {
+			resp.Accuracy = p.A
+			resp.Best = &ConfigResult{
+				Config:    pred.Config.Counts(),
+				TimeHours: pred.Time.Hours(),
+				CostUSD:   float64(pred.Cost),
+			}
+		}
+		return json.Marshal(resp)
+	})
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-route latency histograms and
+// status-class counters (bounded cardinality: routes are static).
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.reg.Histogram("http." + route + ".ms")
+	total := s.reg.Counter("http.requests")
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		total.Inc()
+		s.reg.Counter(fmt.Sprintf("http.status.%dxx", sw.status/100)).Inc()
+		hist.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

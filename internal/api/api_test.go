@@ -5,19 +5,27 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/apps/galaxy"
 	"repro/internal/apps/x264"
 	"repro/internal/core"
+	"repro/internal/serving"
 )
+
+func testEngines() map[string]*core.Engine {
+	return map[string]*core.Engine{
+		"galaxy": core.NewPaperEngine(galaxy.App{}),
+		"x264":   core.NewPaperEngine(x264.App{}),
+	}
+}
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	s, err := NewServer(map[string]*core.Engine{
-		"galaxy": core.NewPaperEngine(galaxy.App{}),
-		"x264":   core.NewPaperEngine(x264.App{}),
-	})
+	s, err := NewServerFromEngines(testEngines())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,6 +55,9 @@ func postJSON(t *testing.T, url string, body interface{}, out interface{}) int {
 
 func TestNewServerRequiresEngines(t *testing.T) {
 	if _, err := NewServer(nil); err == nil {
+		t.Fatal("nil frontdoor accepted")
+	}
+	if _, err := NewServerFromEngines(nil); err == nil {
 		t.Fatal("empty server accepted")
 	}
 }
@@ -201,5 +212,142 @@ func TestMethodRouting(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET on POST endpoint = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestRejectsNonZeroConfidence(t *testing.T) {
+	ts := newTestServer(t)
+	var eb errorBody
+	status := postJSON(t, ts.URL+"/v1/mincost", Request{
+		App: "galaxy", N: 65536, A: 8000, DeadlineH: 24, Confidence: 0.95,
+	}, &eb)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", status)
+	}
+	if !strings.Contains(eb.Error, "confidence") {
+		t.Fatalf("error = %q, want mention of confidence", eb.Error)
+	}
+}
+
+func TestBodySizeLimit(t *testing.T) {
+	ts := newTestServer(t)
+	// Valid JSON, but over 1 MiB: a huge app-name string.
+	big := `{"app":"` + strings.Repeat("g", 2<<20) + `"}`
+	resp, err := http.Post(ts.URL+"/v1/mincost", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
+		t.Fatalf("413 body not the error envelope: err %v, body %+v", err, eb)
+	}
+}
+
+// TestCacheHitSecondRequest asserts the acceptance criterion: a
+// repeated POST with the same body is served from cache, byte-for-byte
+// identical, and the hit is observable at GET /debug/metrics.
+func TestCacheHitSecondRequest(t *testing.T) {
+	ts := newTestServer(t)
+	body := []byte(`{"app":"galaxy","n":65536,"a":8000,"deadline_hours":24}`)
+	get := func() ([]byte, string) {
+		resp, err := http.Post(ts.URL+"/v1/mincost", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), resp.Header.Get("X-Cache")
+	}
+	first, st1 := get()
+	second, st2 := get()
+	if st1 != "miss" || st2 != "hit" {
+		t.Fatalf("X-Cache = %q then %q, want miss then hit", st1, st2)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("cached response differs:\n%s\n%s", first, second)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var metrics struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Counters["serving.cache.hits"] < 1 {
+		t.Fatalf("metrics show no cache hits: %v", metrics.Counters)
+	}
+	if metrics.Counters["http.requests"] < 2 {
+		t.Fatalf("metrics show no http traffic: %v", metrics.Counters)
+	}
+}
+
+// TestOverloadReturns429 saturates a one-slot, no-queue frontdoor with
+// a census and asserts the next request is shed with 429 + Retry-After
+// instead of queueing.
+func TestOverloadReturns429(t *testing.T) {
+	fd, err := serving.NewFrontdoor(testEngines(), serving.Config{
+		MaxConcurrent: 1, QueueDepth: -1, CacheBytes: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	// Occupy the only slot with a full census.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/json",
+			strings.NewReader(`{"app":"galaxy","n":65536,"a":8000}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	defer wg.Wait()
+	inflight := fd.Metrics().Gauge("serving.inflight")
+	deadline := time.Now().Add(10 * time.Second)
+	for inflight.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("census never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/mincost", "application/json",
+		strings.NewReader(`{"app":"galaxy","n":65536,"a":8000,"deadline_hours":24}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
+		t.Fatalf("429 body not the error envelope: err %v, body %+v", err, eb)
 	}
 }

@@ -1,0 +1,50 @@
+package serving
+
+import "sync"
+
+// call is one in-flight computation shared by a leader and any number
+// of coalesced followers. val and err are written once by the leader
+// before done is closed; followers read them only after <-done.
+type call struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// flightGroup deduplicates concurrent work by key: the first joiner
+// becomes the leader and runs the computation, later joiners wait on
+// the leader's result. A minimal in-tree singleflight — no external
+// dependency, and followers can abandon the wait on context
+// cancellation without disturbing the leader.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// join returns the call for key and whether the caller is its leader.
+// A leader must eventually invoke finish exactly once.
+func (g *flightGroup) join(key string) (*call, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = map[string]*call{}
+	}
+	if c, ok := g.m[key]; ok {
+		return c, false
+	}
+	c := &call{done: make(chan struct{})}
+	g.m[key] = c
+	return c, true
+}
+
+// finish publishes the leader's result: the key is forgotten first so
+// requests arriving after completion start a fresh flight (they will
+// normally hit the cache instead), then done is closed to release the
+// followers.
+func (g *flightGroup) finish(key string, c *call, val []byte, err error) {
+	c.val, c.err = val, err
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+}

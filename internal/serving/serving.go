@@ -1,0 +1,301 @@
+// Package serving is the production query-serving layer between
+// internal/api and internal/core. The analytic kernel is expensive — a
+// full census walks all S = 6⁹−1 configurations — while real query
+// traffic is repetitive and bursty, so the Frontdoor puts three
+// defenses in front of every engine run:
+//
+//  1. a byte-bounded LRU result cache with TTL, keyed by the canonical
+//     (kind, app, params, constraints, options, billing) tuple;
+//  2. singleflight request coalescing, so N identical in-flight
+//     queries cost one engine run;
+//  3. admission control: a bounded worker pool (sized from
+//     runtime.NumCPU) plus a bounded wait queue with per-request
+//     deadlines. When the queue is full — or a queued request's
+//     deadline passes before a slot frees — Do fails fast with
+//     ErrOverloaded, which internal/api maps to HTTP 429, instead of
+//     letting load spikes pile up goroutines.
+//
+// The Frontdoor caches and returns opaque response bytes (the encoded
+// JSON body) rather than engine values: a cache hit is a pure memory
+// read that byte-for-byte reproduces the original response, and the
+// byte budget is exact. Cached slices are shared — callers must not
+// mutate them. Hit/miss/eviction, coalescing, admission, and latency
+// accounting flow into a telemetry.Registry exported by the API layer
+// at GET /debug/metrics.
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// ErrOverloaded is returned when admission control rejects a request:
+// every worker slot is busy and the wait queue is full, or the request
+// deadline expired while queued. internal/api maps it to 429 with a
+// Retry-After hint.
+var ErrOverloaded = errors.New("serving: overloaded, retry later")
+
+// ErrUnknownApp is returned by Do for queries naming an unmounted
+// application; internal/api maps it to 404.
+var ErrUnknownApp = errors.New("serving: unknown app")
+
+// Config tunes a Frontdoor. The zero value means "all defaults";
+// negative values disable the corresponding feature where noted.
+type Config struct {
+	// CacheBytes bounds the result cache, bookkeeping included.
+	// 0 → 64 MiB; negative → caching disabled.
+	CacheBytes int64
+	// CacheTTL is the entry lifetime. 0 → 15 minutes; negative →
+	// entries never expire (the model is static per process).
+	CacheTTL time.Duration
+	// MaxConcurrent is the engine worker-pool size. 0 → runtime.NumCPU().
+	// The census itself parallelizes internally, so this bounds
+	// concurrent censuses, not CPU use of one.
+	MaxConcurrent int
+	// QueueDepth is how many admitted requests may wait for a worker
+	// slot beyond MaxConcurrent. 0 → 4×MaxConcurrent; negative → no
+	// queue (reject as soon as all slots are busy).
+	QueueDepth int
+	// RequestTimeout bounds each request from admission to queue exit.
+	// 0 → 60 s; negative → no per-request deadline.
+	RequestTimeout time.Duration
+	// Metrics receives the serving counters; nil → a fresh registry
+	// (retrievable via Frontdoor.Metrics).
+	Metrics *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = 15 * time.Minute
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.NumCPU()
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.MaxConcurrent
+	} else if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.NewRegistry()
+	}
+	return c
+}
+
+// Query identifies one engine invocation for caching and coalescing.
+// Every field participates in the cache key; two requests coalesce or
+// share a cache entry exactly when all fields (plus the mounted
+// engine's billing policy) are equal.
+type Query struct {
+	Kind          string // "analyze", "mincost", "mintime", "maxaccuracy", ...
+	App           string
+	N, A          float64
+	DeadlineHours float64
+	BudgetUSD     float64
+	MaxFrontier   int
+}
+
+// CacheStatus reports how a Do call was served.
+type CacheStatus int
+
+const (
+	// StatusMiss: this call ran the engine (or failed trying).
+	StatusMiss CacheStatus = iota
+	// StatusHit: served from the result cache.
+	StatusHit
+	// StatusCoalesced: piggybacked on an identical in-flight run.
+	StatusCoalesced
+)
+
+// String returns the X-Cache header form.
+func (s CacheStatus) String() string {
+	switch s {
+	case StatusHit:
+		return "hit"
+	case StatusCoalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+// Frontdoor serves queries against a fixed set of engines. Safe for
+// concurrent use; create with NewFrontdoor.
+type Frontdoor struct {
+	engines map[string]*core.Engine
+	cfg     Config
+	cache   *resultCache // nil when disabled
+	group   flightGroup
+
+	// Admission: queue admits MaxConcurrent+QueueDepth requests,
+	// slots caps actual engine concurrency at MaxConcurrent. Both are
+	// token buckets implemented as buffered channels.
+	queue chan struct{}
+	slots chan struct{}
+
+	requests, errors, rejected, coalesced *telemetry.Counter
+	inflight, queued                      *telemetry.Gauge
+	computeMS                             *telemetry.Histogram
+}
+
+// NewFrontdoor validates the configuration and wraps the given engines.
+// The engines map must not be mutated afterwards.
+func NewFrontdoor(engines map[string]*core.Engine, cfg Config) (*Frontdoor, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("serving: no engines to serve")
+	}
+	cfg = cfg.withDefaults()
+	f := &Frontdoor{
+		engines:   engines,
+		cfg:       cfg,
+		queue:     make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
+		slots:     make(chan struct{}, cfg.MaxConcurrent),
+		requests:  cfg.Metrics.Counter("serving.requests"),
+		errors:    cfg.Metrics.Counter("serving.errors"),
+		rejected:  cfg.Metrics.Counter("serving.overload.rejected"),
+		coalesced: cfg.Metrics.Counter("serving.coalesce.followers"),
+		inflight:  cfg.Metrics.Gauge("serving.inflight"),
+		queued:    cfg.Metrics.Gauge("serving.queued"),
+		computeMS: cfg.Metrics.Histogram("serving.compute_ms"),
+	}
+	if cfg.CacheBytes > 0 {
+		f.cache = newResultCache(cfg.CacheBytes, cfg.CacheTTL, cfg.Metrics)
+	}
+	return f, nil
+}
+
+// Metrics returns the registry collecting this Frontdoor's counters.
+func (f *Frontdoor) Metrics() *telemetry.Registry { return f.cfg.Metrics }
+
+// Apps lists the mounted application names, sorted.
+func (f *Frontdoor) Apps() []string {
+	names := make([]string, 0, len(f.engines))
+	for n := range f.engines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Engine returns the engine mounted for app.
+func (f *Frontdoor) Engine(app string) (*core.Engine, bool) {
+	e, ok := f.engines[app]
+	return e, ok
+}
+
+// key derives the canonical cache/coalescing key. Floats use the 'g'
+// shortest-round-trip form, so numerically equal requests collide and
+// nothing else does. The engine's billing policy is included because
+// it changes every predicted cost.
+func (f *Frontdoor) key(q Query, eng *core.Engine) string {
+	var b strings.Builder
+	b.Grow(64)
+	b.WriteString(q.Kind)
+	b.WriteByte('|')
+	b.WriteString(q.App)
+	for _, v := range [4]float64{q.N, q.A, q.DeadlineHours, q.BudgetUSD} {
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(q.MaxFrontier))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(eng.Billing())))
+	return b.String()
+}
+
+// Do serves one query: cache lookup, then coalescing, then admission,
+// then compute. compute receives the mounted engine and returns the
+// encoded response body, which Do caches on success. The returned
+// bytes are shared with the cache and other waiters — callers must not
+// mutate them.
+func (f *Frontdoor) Do(ctx context.Context, q Query, compute func(*core.Engine) ([]byte, error)) ([]byte, CacheStatus, error) {
+	f.requests.Inc()
+	eng, ok := f.engines[q.App]
+	if !ok {
+		f.errors.Inc()
+		return nil, StatusMiss, fmt.Errorf("%w: %q", ErrUnknownApp, q.App)
+	}
+	if f.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.cfg.RequestTimeout)
+		defer cancel()
+	}
+	key := f.key(q, eng)
+	if f.cache != nil {
+		if val, ok := f.cache.get(key); ok {
+			return val, StatusHit, nil
+		}
+	}
+
+	c, leader := f.group.join(key)
+	if !leader {
+		f.coalesced.Inc()
+		select {
+		case <-c.done:
+			if c.err != nil {
+				f.errors.Inc()
+			}
+			return c.val, StatusCoalesced, c.err
+		case <-ctx.Done():
+			f.errors.Inc()
+			return nil, StatusCoalesced, ctx.Err()
+		}
+	}
+
+	val, err := f.admitAndCompute(ctx, eng, compute)
+	if err == nil && f.cache != nil {
+		f.cache.put(key, val)
+	}
+	f.group.finish(key, c, val, err)
+	if err != nil {
+		f.errors.Inc()
+	}
+	return val, StatusMiss, err
+}
+
+// admitAndCompute is the leader path: take a queue token (fail fast
+// with ErrOverloaded when the queue is full), wait for a worker slot
+// (fail with ErrOverloaded when the deadline passes first), then run.
+func (f *Frontdoor) admitAndCompute(ctx context.Context, eng *core.Engine, compute func(*core.Engine) ([]byte, error)) ([]byte, error) {
+	select {
+	case f.queue <- struct{}{}:
+	default:
+		f.rejected.Inc()
+		return nil, fmt.Errorf("%w (queue full)", ErrOverloaded)
+	}
+	defer func() { <-f.queue }()
+
+	f.queued.Add(1)
+	select {
+	case f.slots <- struct{}{}:
+		f.queued.Add(-1)
+	case <-ctx.Done():
+		f.queued.Add(-1)
+		f.rejected.Inc()
+		return nil, fmt.Errorf("%w (queued past deadline: %v)", ErrOverloaded, ctx.Err())
+	}
+	f.inflight.Add(1)
+	start := time.Now()
+	defer func() {
+		f.computeMS.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		f.inflight.Add(-1)
+		<-f.slots
+	}()
+	return compute(eng)
+}

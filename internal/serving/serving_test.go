@@ -1,0 +1,405 @@
+package serving
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/apps/galaxy"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func newTestFrontdoor(t *testing.T, cfg Config) *Frontdoor {
+	t.Helper()
+	f, err := NewFrontdoor(map[string]*core.Engine{
+		"galaxy": core.NewPaperEngine(galaxy.App{}),
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewFrontdoorRequiresEngines(t *testing.T) {
+	if _, err := NewFrontdoor(nil, Config{}); err == nil {
+		t.Fatal("empty frontdoor accepted")
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	f := newTestFrontdoor(t, Config{})
+	_, _, err := f.Do(context.Background(), Query{Kind: "mincost", App: "blender"},
+		func(*core.Engine) ([]byte, error) { return nil, nil })
+	if !errors.Is(err, ErrUnknownApp) {
+		t.Fatalf("err = %v, want ErrUnknownApp", err)
+	}
+}
+
+func TestCacheHitReturnsIdenticalBytes(t *testing.T) {
+	f := newTestFrontdoor(t, Config{})
+	q := Query{Kind: "mincost", App: "galaxy", N: 65536, A: 8000, DeadlineHours: 24}
+	var runs atomic.Int64
+	compute := func(*core.Engine) ([]byte, error) {
+		runs.Add(1)
+		return []byte(`{"best":"config"}`), nil
+	}
+	first, st, err := f.Do(context.Background(), q, compute)
+	if err != nil || st != StatusMiss {
+		t.Fatalf("first call: status %v, err %v", st, err)
+	}
+	second, st, err := f.Do(context.Background(), q, compute)
+	if err != nil || st != StatusHit {
+		t.Fatalf("second call: status %v, err %v", st, err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("cache returned different bytes: %q vs %q", first, second)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("engine ran %d times, want 1", runs.Load())
+	}
+	hits := f.Metrics().Counter("serving.cache.hits").Value()
+	misses := f.Metrics().Counter("serving.cache.misses").Value()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits = %d, misses = %d, want 1 and 1", hits, misses)
+	}
+}
+
+func TestDistinctQueriesDistinctEntries(t *testing.T) {
+	f := newTestFrontdoor(t, Config{})
+	compute := func(body string) func(*core.Engine) ([]byte, error) {
+		return func(*core.Engine) ([]byte, error) { return []byte(body), nil }
+	}
+	a, _, _ := f.Do(context.Background(), Query{Kind: "mincost", App: "galaxy", DeadlineHours: 24}, compute("a"))
+	b, _, _ := f.Do(context.Background(), Query{Kind: "mincost", App: "galaxy", DeadlineHours: 48}, compute("b"))
+	c, _, _ := f.Do(context.Background(), Query{Kind: "mintime", App: "galaxy", DeadlineHours: 24}, compute("c"))
+	if string(a) != "a" || string(b) != "b" || string(c) != "c" {
+		t.Fatalf("key collision: %q %q %q", a, b, c)
+	}
+}
+
+func TestCoalescingSingleEngineRun(t *testing.T) {
+	f := newTestFrontdoor(t, Config{})
+	q := Query{Kind: "analyze", App: "galaxy", N: 65536, A: 8000}
+	var runs atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+	compute := func(*core.Engine) ([]byte, error) {
+		runs.Add(1)
+		close(started)
+		<-release // hold all followers in-flight
+		return []byte("result"), nil
+	}
+
+	const followers = 15
+	var wg sync.WaitGroup
+	statuses := make([]CacheStatus, followers+1)
+	errs := make([]error, followers+1)
+	bodies := make([][]byte, followers+1)
+	wg.Add(1)
+	go func() { // leader
+		defer wg.Done()
+		bodies[0], statuses[0], errs[0] = f.Do(context.Background(), q, compute)
+	}()
+	<-started // leader is inside compute; everyone else must coalesce
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bodies[i], statuses[i], errs[i] = f.Do(context.Background(), q, compute)
+		}(i)
+	}
+	// Followers register before release; give them a moment to join.
+	for f.Metrics().Counter("serving.coalesce.followers").Value() < followers {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if runs.Load() != 1 {
+		t.Fatalf("engine ran %d times for %d identical requests, want 1", runs.Load(), followers+1)
+	}
+	var coalesced int
+	for i := range statuses {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if string(bodies[i]) != "result" {
+			t.Fatalf("request %d body = %q", i, bodies[i])
+		}
+		if statuses[i] == StatusCoalesced {
+			coalesced++
+		}
+	}
+	if coalesced != followers {
+		t.Fatalf("coalesced = %d, want %d", coalesced, followers)
+	}
+}
+
+func TestCoalescedErrorPropagates(t *testing.T) {
+	f := newTestFrontdoor(t, Config{})
+	q := Query{Kind: "analyze", App: "galaxy", N: 1}
+	boom := errors.New("demand out of domain")
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	var leaderErr, followerErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = f.Do(context.Background(), q, func(*core.Engine) ([]byte, error) {
+			close(started)
+			<-release
+			return nil, boom
+		})
+	}()
+	<-started
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, followerErr = f.Do(context.Background(), q, func(*core.Engine) ([]byte, error) {
+			t.Error("follower ran compute")
+			return nil, nil
+		})
+	}()
+	for f.Metrics().Counter("serving.coalesce.followers").Value() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if !errors.Is(leaderErr, boom) || !errors.Is(followerErr, boom) {
+		t.Fatalf("leader err %v, follower err %v, want %v", leaderErr, followerErr, boom)
+	}
+	// Errors are not cached: the next call runs compute again.
+	_, st, err := f.Do(context.Background(), q, func(*core.Engine) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil || st != StatusMiss {
+		t.Fatalf("retry after error: status %v, err %v", st, err)
+	}
+}
+
+func TestOverloadRejects(t *testing.T) {
+	f := newTestFrontdoor(t, Config{MaxConcurrent: 1, QueueDepth: -1})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := f.Do(context.Background(), Query{Kind: "analyze", App: "galaxy", N: 1}, func(*core.Engine) ([]byte, error) {
+			close(started)
+			<-release
+			return []byte("slow"), nil
+		})
+		if err != nil {
+			t.Errorf("occupant: %v", err)
+		}
+	}()
+	<-started
+
+	// Different query (no coalescing), pool and queue are full.
+	_, _, err := f.Do(context.Background(), Query{Kind: "analyze", App: "galaxy", N: 2}, func(*core.Engine) ([]byte, error) {
+		t.Error("rejected request ran compute")
+		return nil, nil
+	})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if got := f.Metrics().Counter("serving.overload.rejected").Value(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestQueuedRequestTimesOut(t *testing.T) {
+	f := newTestFrontdoor(t, Config{MaxConcurrent: 1, QueueDepth: 1, RequestTimeout: 20 * time.Millisecond})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = f.Do(context.Background(), Query{Kind: "analyze", App: "galaxy", N: 1}, func(*core.Engine) ([]byte, error) {
+			close(started)
+			<-release
+			return []byte("slow"), nil
+		})
+	}()
+	<-started
+	// Fits in the queue but never gets a slot before the deadline.
+	_, _, err := f.Do(context.Background(), Query{Kind: "analyze", App: "galaxy", N: 2}, func(*core.Engine) ([]byte, error) {
+		return nil, nil
+	})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded after queue timeout", err)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	f := newTestFrontdoor(t, Config{CacheTTL: time.Minute, Metrics: reg})
+	now := time.Now()
+	f.cache.now = func() time.Time { return now }
+
+	q := Query{Kind: "mincost", App: "galaxy", DeadlineHours: 24}
+	var runs atomic.Int64
+	compute := func(*core.Engine) ([]byte, error) {
+		runs.Add(1)
+		return []byte("v"), nil
+	}
+	_, _, _ = f.Do(context.Background(), q, compute)
+	if _, st, _ := f.Do(context.Background(), q, compute); st != StatusHit {
+		t.Fatalf("status = %v, want hit before expiry", st)
+	}
+	now = now.Add(2 * time.Minute)
+	if _, st, _ := f.Do(context.Background(), q, compute); st != StatusMiss {
+		t.Fatalf("status = %v, want miss after TTL", st)
+	}
+	if runs.Load() != 2 {
+		t.Fatalf("runs = %d, want 2", runs.Load())
+	}
+	if got := reg.Counter("serving.cache.expirations").Value(); got != 1 {
+		t.Fatalf("expirations = %d, want 1", got)
+	}
+}
+
+func TestCacheByteBoundEviction(t *testing.T) {
+	// Budget fits ~2 entries of 1 KiB + overhead; the third insert must
+	// evict the least recently used.
+	reg := telemetry.NewRegistry()
+	f := newTestFrontdoor(t, Config{CacheBytes: 2400, Metrics: reg})
+	body := bytes.Repeat([]byte("x"), 1024)
+	compute := func(*core.Engine) ([]byte, error) { return body, nil }
+	for i := 0; i < 3; i++ {
+		q := Query{Kind: "analyze", App: "galaxy", N: float64(i)}
+		if _, _, err := f.Do(context.Background(), q, compute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("serving.cache.evictions").Value(); got == 0 {
+		t.Fatal("no evictions under byte pressure")
+	}
+	if n := f.cache.len(); n > 2 {
+		t.Fatalf("cache holds %d entries, budget allows 2", n)
+	}
+	if b := reg.Gauge("serving.cache.bytes").Value(); b > 2400 {
+		t.Fatalf("cache bytes %d exceed budget", b)
+	}
+	// Oldest entry (N=0) was evicted; newest (N=2) still resident.
+	if _, st, _ := f.Do(context.Background(), Query{Kind: "analyze", App: "galaxy", N: 2}, compute); st != StatusHit {
+		t.Fatalf("newest entry: status %v, want hit", st)
+	}
+	if _, st, _ := f.Do(context.Background(), Query{Kind: "analyze", App: "galaxy", N: 0}, compute); st != StatusMiss {
+		t.Fatalf("oldest entry: status %v, want evicted miss", st)
+	}
+}
+
+func TestOversizedValueNotCached(t *testing.T) {
+	f := newTestFrontdoor(t, Config{CacheBytes: 512})
+	q := Query{Kind: "analyze", App: "galaxy"}
+	big := bytes.Repeat([]byte("y"), 4096)
+	compute := func(*core.Engine) ([]byte, error) { return big, nil }
+	_, _, _ = f.Do(context.Background(), q, compute)
+	if _, st, _ := f.Do(context.Background(), q, compute); st != StatusHit {
+		if f.cache.len() != 0 {
+			t.Fatalf("oversized value resident: %d entries", f.cache.len())
+		}
+	} else {
+		t.Fatal("oversized value was cached")
+	}
+}
+
+func TestCachingDisabled(t *testing.T) {
+	f := newTestFrontdoor(t, Config{CacheBytes: -1})
+	q := Query{Kind: "mincost", App: "galaxy", DeadlineHours: 24}
+	var runs atomic.Int64
+	compute := func(*core.Engine) ([]byte, error) {
+		runs.Add(1)
+		return []byte("v"), nil
+	}
+	_, _, _ = f.Do(context.Background(), q, compute)
+	_, st, _ := f.Do(context.Background(), q, compute)
+	if st != StatusMiss || runs.Load() != 2 {
+		t.Fatalf("status %v runs %d, want miss/2 with caching off", st, runs.Load())
+	}
+}
+
+// TestRealEngineThroughFrontdoor exercises the full stack against the
+// actual analytic kernel: a real mincost query, cached on repeat.
+func TestRealEngineThroughFrontdoor(t *testing.T) {
+	f := newTestFrontdoor(t, Config{})
+	q := Query{Kind: "mincost", App: "galaxy", N: 65536, A: 8000, DeadlineHours: 24}
+	compute := func(eng *core.Engine) ([]byte, error) {
+		pred, feasible, err := eng.MinCostForDeadline(
+			workload.Params{N: q.N, A: q.A}, units.FromHours(q.DeadlineHours))
+		if err != nil {
+			return nil, err
+		}
+		if !feasible {
+			return []byte("infeasible"), nil
+		}
+		return []byte(fmt.Sprintf("%v$%.2f", pred.Config.Counts(), float64(pred.Cost))), nil
+	}
+	cold, st, err := f.Do(context.Background(), q, compute)
+	if err != nil || st != StatusMiss {
+		t.Fatalf("cold: status %v, err %v", st, err)
+	}
+	warm, st, err := f.Do(context.Background(), q, compute)
+	if err != nil || st != StatusHit {
+		t.Fatalf("warm: status %v, err %v", st, err)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("cold %q != warm %q", cold, warm)
+	}
+	// The paper's spill configuration shows up through the stack.
+	if want := "[5 5 5 3 0 0 0 0 0]"; !bytes.Contains(cold, []byte(want)) {
+		t.Fatalf("body %q missing %q", cold, want)
+	}
+}
+
+// TestParallelMixedLoad hammers the frontdoor from many goroutines with
+// a mix of repeated and distinct queries; run under -race this guards
+// the cache/coalesce/admission interplay.
+func TestParallelMixedLoad(t *testing.T) {
+	f := newTestFrontdoor(t, Config{MaxConcurrent: 4, QueueDepth: 64})
+	var wg sync.WaitGroup
+	var engineRuns atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := Query{Kind: "analyze", App: "galaxy", N: float64(i % 5)}
+				body, _, err := f.Do(context.Background(), q, func(*core.Engine) ([]byte, error) {
+					engineRuns.Add(1)
+					return []byte(fmt.Sprintf("n=%v", q.N)), nil
+				})
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if want := fmt.Sprintf("n=%v", q.N); string(body) != want {
+					t.Errorf("body %q, want %q", body, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// 400 requests over 5 distinct keys: caching + coalescing must
+	// collapse almost all of them. 5 is the floor; allow TTL-free slack.
+	if engineRuns.Load() >= 400 {
+		t.Fatalf("engine ran %d times for 400 requests over 5 keys", engineRuns.Load())
+	}
+}
