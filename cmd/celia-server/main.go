@@ -109,7 +109,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := api.NewServer(fd)
+	srv, err := api.NewServer(fd, api.WithApps(cli.Apps()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -137,6 +137,7 @@ func main() {
 		log.Fatal(err)
 	case <-ctx.Done():
 		stop()
+		srv.SetDraining(true) // /readyz flips to 503 so balancers stop routing here
 		log.Printf("signal received, draining for up to %v", *drainTO)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		defer cancel()

@@ -11,7 +11,9 @@
 //	POST /v1/mincost                 cheapest configuration for a deadline
 //	POST /v1/mintime                 fastest configuration within a budget
 //	POST /v1/maxaccuracy             largest feasible accuracy
+//	POST /v1/risk                    Monte-Carlo deadline risk under failures
 //	GET  /healthz                    liveness
+//	GET  /readyz                     readiness (503 while draining)
 //	GET  /debug/metrics              serving + HTTP metrics (JSON)
 //
 // Contract notes:
@@ -23,6 +25,8 @@
 //     with 400 rather than silently ignored.
 //   - When the serving layer is saturated the response is 429 with a
 //     Retry-After header; clients should back off and retry.
+//   - A panic inside a query computation is recovered at the serving
+//     boundary and reported as 500 with the envelope, never a crash.
 //   - Responses carry an X-Cache header (hit, miss, or coalesced).
 package api
 
@@ -32,9 +36,16 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cloudsim"
+	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/faults/risk"
 	"repro/internal/serving"
 	"repro/internal/telemetry"
 	"repro/internal/units"
@@ -47,26 +58,51 @@ const maxBodyBytes = 1 << 20
 
 // Server routes requests through a serving.Frontdoor.
 type Server struct {
-	fd  *serving.Frontdoor
-	reg *telemetry.Registry
-	mux *http.ServeMux
+	fd   *serving.Frontdoor
+	reg  *telemetry.Registry
+	mux  *http.ServeMux
+	apps map[string]workload.App // risk-query workloads, keyed like engines
+
+	// draining flips when the process starts shutting down: /readyz
+	// turns 503 so load balancers stop routing here while in-flight
+	// requests finish.
+	draining atomic.Bool
+}
+
+// ServerOption customizes NewServer.
+type ServerOption func(*Server)
+
+// WithApps mounts workload definitions for the risk endpoint, keyed by
+// the same names as the frontdoor's engines. Risk queries for apps
+// without a mounted workload are rejected with 422.
+func WithApps(apps map[string]workload.App) ServerOption {
+	return func(s *Server) { s.apps = apps }
 }
 
 // NewServer mounts the query endpoints over the given frontdoor.
-func NewServer(fd *serving.Frontdoor) (*Server, error) {
+func NewServer(fd *serving.Frontdoor, opts ...ServerOption) (*Server, error) {
 	if fd == nil {
 		return nil, fmt.Errorf("api: nil frontdoor")
 	}
 	s := &Server{fd: fd, reg: fd.Metrics(), mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /v1/apps", s.instrument("apps", s.handleApps))
 	s.mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
 	s.mux.HandleFunc("POST /v1/mincost", s.instrument("mincost", s.handleMinCost))
 	s.mux.HandleFunc("POST /v1/mintime", s.instrument("mintime", s.handleMinTime))
 	s.mux.HandleFunc("POST /v1/maxaccuracy", s.instrument("maxaccuracy", s.handleMaxAccuracy))
+	s.mux.HandleFunc("POST /v1/risk", s.instrument("risk", s.handleRisk))
 	s.mux.Handle("GET /debug/metrics", s.reg.Handler())
 	return s, nil
 }
+
+// SetDraining flips the readiness state: true makes /readyz answer 503
+// so load balancers drain this instance before shutdown.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // NewServerFromEngines is a convenience for tests and small tools: it
 // wraps the engines in a default-configured frontdoor.
@@ -129,6 +165,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
 func (s *Server) handleApps(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"apps": s.fd.Apps()})
 }
@@ -179,8 +223,9 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, q serving.Query, 
 }
 
 // writeError maps serving and engine errors to HTTP statuses: overload
-// → 429 + Retry-After, unknown app → 404, request-context expiry →
-// 503, anything else (domain/model errors) → 422.
+// → 429 + Retry-After, unknown app → 404, recovered compute panic →
+// 500, request-context expiry → 503, anything else (domain/model
+// errors) → 422.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, serving.ErrOverloaded):
@@ -188,6 +233,8 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusTooManyRequests, errorBody{err.Error()})
 	case errors.Is(err, serving.ErrUnknownApp):
 		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+	case errors.Is(err, serving.ErrInternal):
+		writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
 	default:
@@ -316,6 +363,155 @@ func (s *Server) handleMaxAccuracy(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		return json.Marshal(resp)
+	})
+}
+
+// riskRequest is the body of POST /v1/risk. Config pins an explicit
+// configuration (node counts per catalog type); omitted, the server
+// solves mincost for the deadline first and evaluates that tuple.
+type riskRequest struct {
+	App           string  `json:"app"`
+	N             float64 `json:"n"`
+	A             float64 `json:"a"`
+	DeadlineH     float64 `json:"deadline_hours"`
+	HazardPerHour float64 `json:"hazard_per_hour"`
+	Trials        int     `json:"trials,omitempty"`
+	Seed          uint64  `json:"seed,omitempty"`
+	Config        []int   `json:"config,omitempty"`
+}
+
+// RiskResponse is the Monte-Carlo deadline-risk estimate.
+type RiskResponse struct {
+	App             string  `json:"app"`
+	Config          []int   `json:"config"`
+	Trials          int     `json:"trials"`
+	FailedTrials    int     `json:"failed_trials"`
+	MissProbability float64 `json:"miss_probability"`
+	MeanFailures    float64 `json:"mean_failures_per_trial"`
+	BaseTimeHours   float64 `json:"base_time_hours"`
+	BaseCostUSD     float64 `json:"base_cost_usd"`
+	TimeP50Hours    float64 `json:"time_p50_hours"`
+	TimeP90Hours    float64 `json:"time_p90_hours"`
+	TimeP99Hours    float64 `json:"time_p99_hours"`
+	CostP50USD      float64 `json:"cost_p50_usd"`
+	CostP90USD      float64 `json:"cost_p90_usd"`
+	CostP99USD      float64 `json:"cost_p99_usd"`
+}
+
+// canonicalConfig renders a tuple request field for the cache key:
+// numerically equal configurations collide, everything else does not.
+func canonicalConfig(counts []int) string {
+	if len(counts) == 0 {
+		return ""
+	}
+	parts := make([]string, len(counts))
+	for i, c := range counts {
+		parts[i] = strconv.Itoa(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
+	var req riskRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{fmt.Sprintf("request body exceeds %d bytes", maxBodyBytes)})
+		} else {
+			writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request body: %v", err)})
+		}
+		return
+	}
+	if _, ok := s.fd.Engine(req.App); !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{fmt.Sprintf("unknown app %q", req.App)})
+		return
+	}
+	if req.DeadlineH <= 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{"risk requires a positive deadline_hours"})
+		return
+	}
+	if req.HazardPerHour < 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{"negative hazard_per_hour"})
+		return
+	}
+	if req.Trials < 0 || req.Trials > risk.MaxTrials {
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{fmt.Sprintf("trials outside [0, %d]", risk.MaxTrials)})
+		return
+	}
+	app, ok := s.apps[req.App]
+	if !ok {
+		writeJSON(w, http.StatusUnprocessableEntity,
+			errorBody{fmt.Sprintf("no workload mounted for %q: risk queries need the simulator, not just the analytic engine", req.App)})
+		return
+	}
+	var tuple config.Tuple
+	if len(req.Config) > 0 {
+		var err error
+		tuple, err = config.NewTuple(req.Config)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+			return
+		}
+	}
+	trials := req.Trials
+	if trials == 0 {
+		trials = risk.DefaultTrials
+	}
+
+	q := serving.Query{Kind: "risk", App: req.App, N: req.N, A: req.A,
+		DeadlineHours: req.DeadlineH, HazardPerHour: req.HazardPerHour,
+		Trials: trials, Seed: req.Seed, Config: canonicalConfig(req.Config)}
+	trialsRun := s.reg.Counter("risk.trials")
+	s.serve(w, r, q, func(eng *core.Engine) ([]byte, error) {
+		p := workload.Params{N: req.N, A: req.A}
+		t := tuple
+		if len(req.Config) == 0 {
+			pred, feasible, err := eng.MinCostForDeadline(p, units.FromHours(req.DeadlineH))
+			if err != nil {
+				return nil, err
+			}
+			if !feasible {
+				return nil, fmt.Errorf("no configuration meets the %.2fh deadline; pass an explicit config", req.DeadlineH)
+			}
+			t = pred.Config
+		}
+		cat := eng.Capacities().Catalog()
+		if t.Len() != cat.Len() {
+			return nil, fmt.Errorf("config arity %d does not match the catalog's %d types", t.Len(), cat.Len())
+		}
+		est, err := risk.Estimate(app, p, t, cat, risk.Options{
+			Trials:        trials,
+			Seed:          req.Seed,
+			HazardPerHour: req.HazardPerHour,
+			Deadline:      units.FromHours(req.DeadlineH),
+			Sim:           cloudsim.DefaultOptions(),
+			Recovery:      faults.DefaultRecovery(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		trialsRun.Add(int64(est.Trials))
+		return json.Marshal(RiskResponse{
+			App:             req.App,
+			Config:          t.Counts(),
+			Trials:          est.Trials,
+			FailedTrials:    est.Failed,
+			MissProbability: est.MissProb,
+			MeanFailures:    est.MeanFailures,
+			BaseTimeHours:   est.BaseMakespan.Hours(),
+			BaseCostUSD:     float64(est.BaseCost),
+			TimeP50Hours:    est.MakespanP50.Hours(),
+			TimeP90Hours:    est.MakespanP90.Hours(),
+			TimeP99Hours:    est.MakespanP99.Hours(),
+			CostP50USD:      float64(est.CostP50),
+			CostP90USD:      float64(est.CostP90),
+			CostP99USD:      float64(est.CostP99),
+		})
 	})
 }
 

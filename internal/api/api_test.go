@@ -3,6 +3,7 @@ package api
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/apps/x264"
 	"repro/internal/core"
 	"repro/internal/serving"
+	"repro/internal/workload"
 )
 
 func testEngines() map[string]*core.Engine {
@@ -349,5 +351,182 @@ func TestOverloadReturns429(t *testing.T) {
 	var eb errorBody
 	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
 		t.Fatalf("429 body not the error envelope: err %v, body %+v", err, eb)
+	}
+}
+
+func newRiskServer(t *testing.T) (*httptest.Server, *serving.Frontdoor) {
+	t.Helper()
+	fd, err := serving.NewFrontdoor(testEngines(), serving.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(fd, WithApps(map[string]workload.App{
+		"galaxy": galaxy.App{},
+		"x264":   x264.App{},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts, fd
+}
+
+func TestRiskEndpoint(t *testing.T) {
+	ts, fd := newRiskServer(t)
+	req := map[string]interface{}{
+		"app": "x264", "n": 16, "a": 20, "deadline_hours": 24,
+		"hazard_per_hour": 0.05, "trials": 16, "seed": 7,
+	}
+	var resp RiskResponse
+	if code := postJSON(t, ts.URL+"/v1/risk", req, &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.App != "x264" || resp.Trials != 16 {
+		t.Fatalf("response %+v", resp)
+	}
+	if resp.MissProbability < 0 || resp.MissProbability > 1 {
+		t.Fatalf("miss probability %v outside [0,1]", resp.MissProbability)
+	}
+	if resp.BaseTimeHours <= 0 || resp.BaseCostUSD <= 0 {
+		t.Fatalf("degenerate base run: %+v", resp)
+	}
+	if len(resp.Config) == 0 {
+		t.Fatal("solved configuration missing from response")
+	}
+	if resp.TimeP50Hours <= 0 || resp.CostP50USD <= 0 {
+		t.Fatalf("quantiles missing: %+v", resp)
+	}
+	if got := fd.Metrics().Counter("risk.trials").Value(); got != 16 {
+		t.Fatalf("risk.trials = %d, want 16", got)
+	}
+
+	// The repeated query is a pure cache hit: identical bytes, no new
+	// trials simulated.
+	raw, _ := json.Marshal(req)
+	r2, err := http.Post(ts.URL+"/v1/risk", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("X-Cache = %q on repeat, want hit", got)
+	}
+	if got := fd.Metrics().Counter("risk.trials").Value(); got != 16 {
+		t.Fatalf("cache hit re-simulated: risk.trials = %d", got)
+	}
+}
+
+func TestRiskEndpointExplicitConfig(t *testing.T) {
+	ts, _ := newRiskServer(t)
+	req := map[string]interface{}{
+		"app": "x264", "n": 16, "a": 20, "deadline_hours": 24,
+		"hazard_per_hour": 0, "trials": 8,
+		"config": []int{2, 0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	var resp RiskResponse
+	if code := postJSON(t, ts.URL+"/v1/risk", req, &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	want := []int{2, 0, 0, 0, 0, 0, 0, 0, 0}
+	for i, c := range resp.Config {
+		if c != want[i] {
+			t.Fatalf("config %v, want %v", resp.Config, want)
+		}
+	}
+	if resp.MissProbability != 0 {
+		t.Fatalf("zero hazard under a generous deadline missed with p=%v", resp.MissProbability)
+	}
+}
+
+func TestRiskEndpointValidation(t *testing.T) {
+	ts, _ := newRiskServer(t)
+	cases := []struct {
+		name string
+		body map[string]interface{}
+		want int
+	}{
+		{"missing deadline", map[string]interface{}{"app": "x264", "n": 16, "a": 20, "hazard_per_hour": 1}, http.StatusBadRequest},
+		{"negative hazard", map[string]interface{}{"app": "x264", "n": 16, "a": 20, "deadline_hours": 1, "hazard_per_hour": -1}, http.StatusBadRequest},
+		{"unknown app", map[string]interface{}{"app": "blender", "n": 16, "a": 20, "deadline_hours": 1}, http.StatusNotFound},
+		{"oversized trials", map[string]interface{}{"app": "x264", "n": 16, "a": 20, "deadline_hours": 1, "trials": 100001}, http.StatusBadRequest},
+		{"bad config count", map[string]interface{}{"app": "x264", "n": 16, "a": 20, "deadline_hours": 1, "config": []int{-1, 0, 0, 0, 0, 0, 0, 0, 0}}, http.StatusBadRequest},
+		{"config arity", map[string]interface{}{"app": "x264", "n": 16, "a": 20, "deadline_hours": 24, "config": []int{1, 1}}, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		if code := postJSON(t, ts.URL+"/v1/risk", c.body, nil); code != c.want {
+			t.Fatalf("%s: status %d, want %d", c.name, code, c.want)
+		}
+	}
+}
+
+func TestRiskRequiresMountedWorkload(t *testing.T) {
+	// A server without WithApps serves the analytic endpoints but
+	// rejects risk queries with 422.
+	ts := newTestServer(t)
+	code := postJSON(t, ts.URL+"/v1/risk", map[string]interface{}{
+		"app": "x264", "n": 16, "a": 20, "deadline_hours": 24,
+	}, nil)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", code)
+	}
+}
+
+func TestReadyzFlipsWhileDraining(t *testing.T) {
+	fd, err := serving.NewFrontdoor(testEngines(), serving.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz = %d before drain", code)
+	}
+	s.SetDraining(true)
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d while draining, want 503", code)
+	}
+	// Liveness is unaffected: the process is healthy, just not ready.
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d while draining", code)
+	}
+	s.SetDraining(false)
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz = %d after drain cleared", code)
+	}
+}
+
+func TestInternalErrorMapsTo500(t *testing.T) {
+	fd, err := serving.NewFrontdoor(testEngines(), serving.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.writeError(rec, fmt.Errorf("%w: compute panic: boom", serving.ErrInternal))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("ErrInternal mapped to %d, want 500", rec.Code)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error == "" {
+		t.Fatalf("500 body missing error envelope: %q", rec.Body.String())
 	}
 }

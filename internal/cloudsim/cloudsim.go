@@ -16,7 +16,11 @@
 //   - serialized master dispatch and input shipping for work-queue
 //     applications (sand);
 //   - task-granularity tail imbalance on heterogeneous clusters;
-//   - billing from provisioning (boot included) to teardown.
+//   - billing from provisioning (boot included) to teardown;
+//   - instance failures, injected from a faults.Trace, with per-plan
+//     recovery policies (bounded task re-dispatch, BSP
+//     checkpoint/restart, master failover, replacement provisioning)
+//     or the paper-faithful strict abort.
 package cloudsim
 
 import (
@@ -27,6 +31,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/des"
 	"repro/internal/ec2"
+	"repro/internal/faults"
 	"repro/internal/units"
 	"repro/internal/vm"
 	"repro/internal/workload"
@@ -55,12 +60,20 @@ type Options struct {
 	// slowdown factors > 1, modeling oversubscribed hosts.
 	Stragglers map[int]float64
 
-	// Failure injection: when FailAt > 0, instance FailInstance is
-	// terminated at that time (measured from application launch). Its
-	// in-flight tasks are re-dispatched to surviving workers.
-	// Independent plans tolerate the failure; gang-scheduled BSP and
-	// master-anchored work-queue plans abort with an error, matching
-	// the fault model of the paper's applications.
+	// Trace injects instance failures: each event terminates one
+	// instance at a time measured from application launch, losing its
+	// in-flight work. What happens next is governed by Recovery.
+	Trace faults.Trace
+
+	// Recovery selects the failure-handling policy. The zero value is
+	// faults.StrictAbort — the paper-faithful fault model: independent
+	// plans re-dispatch lost tasks without bound, gang-scheduled BSP
+	// and master-anchored work-queue plans abort with an error.
+	Recovery faults.Recovery
+
+	// Legacy single-failure injection, superseded by Trace: when Trace
+	// is empty and FailAt > 0, the pair is treated as a one-event
+	// trace.
 	FailInstance int
 	FailAt       units.Seconds
 }
@@ -115,18 +128,39 @@ func (o Options) startup(appName string) units.Seconds {
 	return AppStartup(appName)
 }
 
+// trace normalizes the failure injection: the legacy FailInstance /
+// FailAt pair becomes a one-event trace when Trace itself is empty.
+func (o Options) trace() faults.Trace {
+	if !o.Trace.Empty() {
+		return o.Trace
+	}
+	if o.FailAt > 0 {
+		return faults.NewTrace(faults.Event{Instance: o.FailInstance, At: o.FailAt})
+	}
+	return faults.Trace{}
+}
+
 // Result reports one simulated run.
 type Result struct {
 	Makespan  units.Seconds // application launch → completion (what a user times)
-	Cost      units.USD     // billed: boot through completion, all instances
-	Instances int
+	Cost      units.USD     // billed: boot through completion (or failure), all instances
+	Instances int           // originally provisioned instances
 	VCPUs     int
 	Tasks     int
 	Events    uint64
+	Failures  int // failure events applied to this run
+	Respawned int // replacement instances provisioned by the recovery policy
 }
 
 // Run executes the application's plan for p on a cluster provisioned
 // per the tuple.
+//
+// Billing: every originally provisioned instance bills from the start
+// of its boot through the end of the run, capped at its failure time —
+// Boot + min(FailAt, Makespan) — for every event in the trace.
+// Replacement instances bill from the moment the failure that triggered
+// them fired (their boot happens inside the run) through the end of the
+// run.
 func Run(app workload.App, p workload.Params, tuple config.Tuple, cat *ec2.Catalog, opts Options) (Result, error) {
 	if tuple.Len() != cat.Len() {
 		return Result{}, fmt.Errorf("cloudsim: tuple arity %d vs catalog %d", tuple.Len(), cat.Len())
@@ -138,46 +172,75 @@ func Run(app workload.App, p workload.Params, tuple config.Tuple, cat *ec2.Catal
 	if err := plan.Validate(); err != nil {
 		return Result{}, err
 	}
+	if err := opts.Recovery.Validate(); err != nil {
+		return Result{}, err
+	}
 	cluster := provision(tuple, cat, app, opts)
-	startup := opts.startup(app.Name())
-	failing := opts.FailAt > 0
-	if failing && (opts.FailInstance < 0 || opts.FailInstance >= len(cluster)) {
-		return Result{}, fmt.Errorf("cloudsim: fail instance %d outside cluster of %d", opts.FailInstance, len(cluster))
+	trace := opts.trace()
+	if err := trace.Validate(len(cluster)); err != nil {
+		return Result{}, err
+	}
+	failing := !trace.Empty()
+	recovering := opts.Recovery.Mode == faults.Recover
+
+	r := &runner{
+		app:     app,
+		plan:    plan,
+		opts:    opts,
+		rec:     opts.Recovery,
+		trace:   trace,
+		cluster: cluster,
+		orig:    len(cluster),
+		startup: opts.startup(app.Name()),
 	}
 
-	var sim des.Sim
 	var span units.Seconds
 	var tasks int
 	switch plan.Kind {
 	case workload.Independent:
-		span, tasks = runIndependent(&sim, cluster, app.Name(), plan, startup, opts)
+		span, tasks = r.runIndependent()
 	case workload.BSP:
-		if failing {
+		if failing && !recovering {
 			return Result{}, fmt.Errorf("cloudsim: gang-scheduled BSP job aborts on instance failure")
 		}
-		span, tasks = runBSP(&sim, cluster, app.Name(), plan, startup, opts.Network)
+		span, tasks = r.runBSP()
 	case workload.MasterWorker:
-		if failing {
+		if failing && !recovering {
 			return Result{}, fmt.Errorf("cloudsim: work-queue job aborts when an instance fails (master-anchored)")
 		}
-		span, tasks = runMasterWorker(&sim, cluster, app.Name(), plan, startup, opts.Network)
+		span, tasks = r.runMasterWorker()
 	default:
 		return Result{}, fmt.Errorf("cloudsim: unknown plan kind %v", plan.Kind)
+	}
+	if r.err != nil {
+		return Result{}, r.err
 	}
 
 	res := Result{
 		Makespan:  span,
-		Instances: len(cluster),
+		Instances: r.orig,
 		Tasks:     tasks,
-		Events:    sim.Events(),
+		Events:    r.sim.Events(),
+		Failures:  trace.Len(),
+		Respawned: len(r.respawns),
 	}
-	for i, in := range cluster {
+	failAt := make(map[int]units.Seconds, trace.Len())
+	for _, e := range trace.Events() {
+		failAt[e.Instance] = e.At
+	}
+	for i := 0; i < r.orig; i++ {
+		in := r.cluster[i]
 		res.VCPUs += in.Type.VCPUs
 		billed := span
-		if failing && i == opts.FailInstance && opts.FailAt < span {
-			billed = opts.FailAt // terminated instances stop billing
+		if at, ok := failAt[i]; ok && at < billed {
+			billed = at // terminated instances stop billing at the event
 		}
 		res.Cost += in.Type.Price.Over(opts.Boot + billed)
+	}
+	for _, rs := range r.respawns {
+		if rs.at < span {
+			res.Cost += rs.price.Over(span - rs.at)
+		}
 	}
 	return res, nil
 }
@@ -200,6 +263,47 @@ func provision(tuple config.Tuple, cat *ec2.Catalog, app workload.App, opts Opti
 	return out
 }
 
+// respawn records one replacement provisioning for billing: the
+// replacement bills from the failure that ordered it through run end.
+type respawn struct {
+	at    units.Seconds
+	price units.USDPerHour
+}
+
+// runner carries the state shared by the per-plan schedulers: the
+// (growing) instance list, the failure trace, the recovery policy, and
+// the first fatal error.
+type runner struct {
+	sim     des.Sim
+	app     workload.App
+	plan    workload.Plan
+	opts    Options
+	rec     faults.Recovery
+	trace   faults.Trace
+	cluster []vm.Instance // originals, then replacements
+	orig    int
+	startup units.Seconds
+
+	respawns []respawn
+	err      error
+}
+
+func (r *runner) fail(format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+// spawnReplacement orders a replacement for a failed instance and
+// returns its index in r.cluster; onBoot runs when it finishes booting.
+func (r *runner) spawnReplacement(failed int, onBoot func(idx int)) {
+	id := len(r.cluster)
+	repl := vm.Replacement(id, r.cluster[failed], r.app, r.opts.Seed)
+	r.cluster = append(r.cluster, repl)
+	r.respawns = append(r.respawns, respawn{at: r.sim.Now(), price: repl.Type.Price})
+	r.sim.Schedule(r.opts.Boot, func() { onBoot(id) })
+}
+
 // vcpuRef identifies one vCPU of one instance.
 type vcpuRef struct {
 	inst int
@@ -210,10 +314,7 @@ type vcpuRef struct {
 // application spans multiple instances, every vCPU loses the
 // application's network-processing fraction.
 func clusterVCPUs(cluster []vm.Instance, appName string) []vcpuRef {
-	factor := 1.0
-	if len(cluster) > 1 {
-		factor = 1 - NetworkCPUOverhead(appName)
-	}
+	factor := networkFactor(len(cluster), appName)
 	var out []vcpuRef
 	for i, in := range cluster {
 		for v := 0; v < in.Type.VCPUs; v++ {
@@ -223,12 +324,26 @@ func clusterVCPUs(cluster []vm.Instance, appName string) []vcpuRef {
 	return out
 }
 
+func networkFactor(instances int, appName string) float64 {
+	if instances > 1 {
+		return 1 - NetworkCPUOverhead(appName)
+	}
+	return 1
+}
+
 // runIndependent schedules plan.Tasks independent tasks onto all vCPUs
 // via greedy pull (x264's clip farm). Independent tasks tolerate
 // instance failure: in-flight work of a failed instance is
-// re-dispatched from scratch to surviving workers.
-func runIndependent(sim *des.Sim, cluster []vm.Instance, appName string, plan workload.Plan, startup units.Seconds, opts Options) (units.Seconds, int) {
-	vcpus := clusterVCPUs(cluster, appName)
+// re-dispatched from scratch to surviving workers — without bound under
+// StrictAbort (the paper's fault model for x264), within the per-task
+// retry budget under Recover, where failed instances may also be
+// respawned.
+func (r *runner) runIndependent() (units.Seconds, int) {
+	sim := &r.sim
+	plan := r.plan
+	appName := r.app.Name()
+	factor := networkFactor(len(r.cluster), appName)
+	vcpus := clusterVCPUs(r.cluster, appName)
 	next := 0
 	retry := []int{}
 	dead := make([]bool, len(vcpus))
@@ -238,6 +353,8 @@ func runIndependent(sim *des.Sim, cluster []vm.Instance, appName string, plan wo
 		current[i] = -1
 	}
 	var finish units.Seconds
+	completed := 0
+	var retries map[int]int // per-task re-dispatch count, lazily allocated
 
 	take := func() (int, bool) {
 		if len(retry) > 0 {
@@ -255,7 +372,7 @@ func runIndependent(sim *des.Sim, cluster []vm.Instance, appName string, plan wo
 	started := false
 	var pull func(w int)
 	pull = func(w int) {
-		if dead[w] || !started || current[w] >= 0 {
+		if dead[w] || !started || current[w] >= 0 || r.err != nil {
 			return
 		}
 		task, ok := take()
@@ -271,30 +388,64 @@ func runIndependent(sim *des.Sim, cluster []vm.Instance, appName string, plan wo
 				return // completion from before this worker's failure
 			}
 			current[w] = -1
+			completed++
 			if sim.Now() > finish {
 				finish = sim.Now()
 			}
 			pull(w)
 		})
 	}
-	sim.At(startup, func() {
+	sim.At(r.startup, func() {
 		started = true
 		for w := range vcpus {
 			pull(w)
 		}
 	})
-	if opts.FailAt > 0 {
-		sim.At(opts.FailAt, func() {
+
+	// requeue re-dispatches a task lost to an instance failure,
+	// enforcing the retry budget under Recover.
+	requeue := func(task int) {
+		if retries == nil {
+			retries = map[int]int{}
+		}
+		retries[task]++
+		if r.rec.Mode == faults.Recover && r.rec.MaxTaskRetries > 0 && retries[task] > r.rec.MaxTaskRetries {
+			r.fail("cloudsim: task %d exceeded its retry budget of %d re-dispatches", task, r.rec.MaxTaskRetries)
+			return
+		}
+		retry = append(retry, task)
+	}
+	for _, e := range r.trace.Events() {
+		e := e
+		sim.At(e.At, func() {
+			if completed >= plan.Tasks || r.err != nil {
+				return // run already over (or already failed)
+			}
 			for w := range vcpus {
-				if vcpus[w].inst != opts.FailInstance {
+				if vcpus[w].inst != e.Instance || dead[w] {
 					continue
 				}
 				dead[w] = true
 				gen[w]++
 				if current[w] >= 0 {
-					retry = append(retry, current[w])
+					requeue(current[w])
 					current[w] = -1
 				}
+			}
+			if r.rec.Mode == faults.Recover && r.rec.Respawn {
+				r.spawnReplacement(e.Instance, func(idx int) {
+					if completed >= plan.Tasks || r.err != nil {
+						return
+					}
+					in := r.cluster[idx]
+					for v := 0; v < in.Type.VCPUs; v++ {
+						vcpus = append(vcpus, vcpuRef{inst: idx, rate: in.PerVCPURate() * units.Rate(factor)})
+						dead = append(dead, false)
+						gen = append(gen, 0)
+						current = append(current, -1)
+						pull(len(vcpus) - 1)
+					}
+				})
 			}
 			// Wake idle survivors for the re-dispatched work.
 			for w := range vcpus {
@@ -305,8 +456,12 @@ func runIndependent(sim *des.Sim, cluster []vm.Instance, appName string, plan wo
 		})
 	}
 	sim.Run()
-	if finish < startup {
-		finish = startup
+	if r.err == nil && completed < plan.Tasks {
+		r.fail("cloudsim: %d of %d tasks incomplete after failures (no surviving workers)",
+			plan.Tasks-completed, plan.Tasks)
+	}
+	if finish < r.startup {
+		finish = r.startup
 	}
 	return finish, plan.Tasks
 }
@@ -314,19 +469,206 @@ func runIndependent(sim *des.Sim, cluster []vm.Instance, appName string, plan wo
 // runBSP executes plan.Steps bulk-synchronous steps (galaxy): elements
 // are partitioned across ranks (one per vCPU) proportionally to rank
 // speed, each step ends at the slowest rank plus the exchange.
-func runBSP(sim *des.Sim, cluster []vm.Instance, appName string, plan workload.Plan, startup units.Seconds, net Network) (units.Seconds, int) {
-	vcpus := clusterVCPUs(cluster, appName)
+//
+// Under Recover, the job checkpoints every CheckpointEverySteps steps
+// (paying CheckpointCost of coordinated I/O). On an instance failure
+// the surviving ranks restart from the last checkpoint — paying
+// CheckpointCost once more to read it back — with the elements
+// repartitioned proportionally to surviving rank speed. Respawned
+// replacements join when the MPI world is next rebuilt: at a failure
+// restart or a checkpoint boundary.
+func (r *runner) runBSP() (units.Seconds, int) {
+	if r.trace.Empty() && !(r.rec.Mode == faults.Recover && r.rec.CheckpointEverySteps > 0) {
+		// No failure machinery in play: the plain barrier loop, which a
+		// zero-event trace must reproduce bit-for-bit.
+		return r.runBSPPlain()
+	}
+	sim := &r.sim
+	plan := r.plan
+	appName := r.app.Name()
+	ckptEvery := 0
+	var ckptCost units.Seconds
+	if r.rec.Mode == faults.Recover {
+		ckptEvery = r.rec.CheckpointEverySteps
+		ckptCost = r.rec.CheckpointCost
+	}
+
+	alive := make([]bool, len(r.cluster))
+	for i := range alive {
+		alive[i] = true
+	}
+	booted := []int{} // replacements up but not yet in the MPI world
+	pendingBoots := 0
+
+	var slowest, comm units.Seconds
+	ranks := 0
+	// rebuild recomputes the rank set and per-step time from the
+	// instances currently in the world.
+	rebuild := func() {
+		var world []vm.Instance
+		for i, in := range r.cluster {
+			if i < len(alive) && alive[i] {
+				world = append(world, in)
+			}
+		}
+		vcpus := clusterVCPUs(world, appName)
+		ranks = len(vcpus)
+		if ranks == 0 {
+			slowest, comm = 0, 0
+			return
+		}
+		share := partitionProportional(plan.Elements, vcpus)
+		slowest = 0
+		for rk, elems := range share {
+			t := units.Time(units.Instructions(float64(elems)*float64(plan.InstrPerElement)), vcpus[rk].rate)
+			if t > slowest {
+				slowest = t
+			}
+		}
+		comm = 0
+		if len(world) > 1 {
+			comm = units.Seconds(r.opts.Network.LatencySec + plan.CommBytesPerStep/r.opts.Network.BytesPerSec)
+		}
+	}
+	join := func() {
+		for _, idx := range booted {
+			alive[idx] = true
+		}
+		booted = booted[:0]
+	}
+
+	done, ckpt := 0, 0
+	epoch := 0
+	started := false
+	finished := false
+	var finish units.Seconds
+
+	var startStep func()
+	startStep = func() {
+		if finished || r.err != nil {
+			return
+		}
+		if done >= plan.Steps {
+			finish = sim.Now()
+			finished = true
+			return
+		}
+		myEpoch := epoch
+		sim.Schedule(slowest+comm, func() {
+			if epoch != myEpoch || finished || r.err != nil {
+				return // step torn down by a failure restart
+			}
+			done++
+			if done >= plan.Steps {
+				finish = sim.Now()
+				finished = true
+				return
+			}
+			if ckptEvery > 0 && done%ckptEvery == 0 {
+				sim.Schedule(ckptCost, func() {
+					if epoch != myEpoch || finished || r.err != nil {
+						return // failure hit mid-checkpoint: it never completed
+					}
+					ckpt = done
+					if len(booted) > 0 {
+						join()
+						rebuild()
+					}
+					startStep()
+				})
+				return
+			}
+			startStep()
+		})
+	}
+
+	// restart rolls the world back to the last checkpoint on the
+	// current membership (survivors plus booted replacements).
+	restart := func() {
+		join()
+		rebuild()
+		if ranks == 0 {
+			if pendingBoots == 0 {
+				r.fail("cloudsim: all BSP ranks failed")
+			}
+			return // wait for a replacement to boot
+		}
+		done = ckpt
+		if ckpt > 0 && ckptCost > 0 {
+			myEpoch := epoch
+			sim.Schedule(ckptCost, func() { // read the checkpoint back
+				if epoch == myEpoch {
+					startStep()
+				}
+			})
+			return
+		}
+		startStep()
+	}
+
+	sim.At(r.startup, func() {
+		started = true
+		rebuild()
+		if ranks == 0 {
+			restart() // everything died during startup
+			return
+		}
+		startStep()
+	})
+	for _, e := range r.trace.Events() {
+		e := e
+		sim.At(e.At, func() {
+			if finished || r.err != nil || !alive[e.Instance] {
+				return
+			}
+			alive[e.Instance] = false
+			epoch++
+			if r.rec.Respawn {
+				pendingBoots++
+				r.spawnReplacement(e.Instance, func(idx int) {
+					pendingBoots--
+					if finished || r.err != nil {
+						return
+					}
+					for len(alive) < idx+1 {
+						alive = append(alive, false) // joins via booted at the next world rebuild
+					}
+					booted = append(booted, idx)
+					if started && ranks == 0 {
+						epoch++
+						restart()
+					}
+				})
+			}
+			if started {
+				restart()
+			}
+		})
+	}
+	sim.Run()
+	if r.err == nil && !finished {
+		r.fail("cloudsim: BSP job incomplete after failures (%d of %d steps)", done, plan.Steps)
+	}
+	return finish, plan.Steps
+}
+
+// runBSPPlain is the failure-free barrier loop.
+func (r *runner) runBSPPlain() (units.Seconds, int) {
+	sim := &r.sim
+	plan := r.plan
+	net := r.opts.Network
+	vcpus := clusterVCPUs(r.cluster, r.app.Name())
 	share := partitionProportional(plan.Elements, vcpus)
 	// The step's compute phase ends at the slowest rank.
 	var slowest units.Seconds
-	for r, elems := range share {
-		t := units.Time(units.Instructions(float64(elems)*float64(plan.InstrPerElement)), vcpus[r].rate)
+	for rk, elems := range share {
+		t := units.Time(units.Instructions(float64(elems)*float64(plan.InstrPerElement)), vcpus[rk].rate)
 		if t > slowest {
 			slowest = t
 		}
 	}
 	var comm units.Seconds
-	if len(cluster) > 1 {
+	if len(r.cluster) > 1 {
 		comm = units.Seconds(net.LatencySec + plan.CommBytesPerStep/net.BytesPerSec)
 	}
 	var finish units.Seconds
@@ -340,7 +682,7 @@ func runBSP(sim *des.Sim, cluster []vm.Instance, appName string, plan workload.P
 		step++
 		sim.Schedule(slowest+comm, barrier)
 	}
-	sim.At(startup, barrier)
+	sim.At(r.startup, barrier)
 	sim.Run()
 	return finish, plan.Steps
 }
@@ -407,60 +749,255 @@ func (h *idleHeap) Pop() interface{} {
 // runMasterWorker executes a work-queue plan (sand): the master on
 // instance 0 serially dispatches tasks (compute + input shipping over
 // its network link); free workers pull dispatched tasks.
-func runMasterWorker(sim *des.Sim, cluster []vm.Instance, appName string, plan workload.Plan, startup units.Seconds, net Network) (units.Seconds, int) {
-	vcpus := clusterVCPUs(cluster, appName)
-	masterRate := cluster[0].PerVCPURate()
-	perDispatch := units.Time(plan.DispatchInstr, masterRate)
-	if len(cluster) > 1 && net.BytesPerSec > 0 {
-		perDispatch += units.Seconds(plan.BytesPerTask / net.BytesPerSec)
+//
+// Under Recover the plan survives failures: a dead worker's in-flight
+// and queued-but-unstarted tasks are re-dispatched (within the retry
+// budget), and when the master dies, the lowest-indexed surviving
+// instance is promoted after FailoverDetection — tasks whose inputs
+// were shipped but not started are re-shipped by the new master.
+func (r *runner) runMasterWorker() (units.Seconds, int) {
+	sim := &r.sim
+	plan := r.plan
+	appName := r.app.Name()
+	net := r.opts.Network
+	factor := networkFactor(len(r.cluster), appName)
+	shipping := units.Seconds(0)
+	if len(r.cluster) > 1 && net.BytesPerSec > 0 {
+		shipping = units.Seconds(plan.BytesPerTask / net.BytesPerSec)
 	}
 
-	ready := 0 // dispatched, unstarted tasks
-	started := 0
+	vcpus := clusterVCPUs(r.cluster, appName)
+	dead := make([]bool, len(vcpus))
+	gen := make([]int, len(vcpus))
+	current := make([]int, len(vcpus))
+	for i := range current {
+		current[i] = -1
+	}
+	aliveInst := make([]bool, len(r.cluster))
+	for i := range aliveInst {
+		aliveInst[i] = true
+	}
+
+	masterInst := 0
+	masterAlive := true
+	perDispatch := units.Time(plan.DispatchInstr, r.cluster[0].PerVCPURate()) + shipping
+
+	nextNew := 0          // next never-dispatched task
+	redispatch := []int{} // tasks to dispatch again (inputs lost)
+	readyTasks := []int{} // dispatched, waiting for a worker
+	completed := 0
+	finished := false
 	var finish units.Seconds
+	var retries map[int]int
+
 	idle := make(idleHeap, 0, len(vcpus))
-	var assign func(w int)
-	assign = func(w int) {
-		task := started
-		started++
-		ready--
+	popIdle := func() (int, bool) {
+		for idle.Len() > 0 {
+			iw := heap.Pop(&idle).(idleWorker)
+			if !dead[iw.w] {
+				return iw.w, true
+			}
+		}
+		return -1, false
+	}
+
+	dispatching := false
+	var dispatchTimer *des.Timer
+	started := false
+	var dispatch func()
+	var assign func(w, task int)
+	assign = func(w, task int) {
+		current[w] = task
+		myGen := gen[w]
 		dur := units.Time(plan.TaskInstr(task), vcpus[w].rate)
 		sim.Schedule(dur, func() {
+			if gen[w] != myGen {
+				return // worker died mid-task; the task was re-dispatched
+			}
+			current[w] = -1
+			completed++
 			if sim.Now() > finish {
 				finish = sim.Now()
 			}
-			if ready > 0 {
-				assign(w)
+			if completed >= plan.Tasks {
+				finished = true
+				if dispatchTimer != nil {
+					dispatchTimer.Cancel()
+				}
+				return
+			}
+			if len(readyTasks) > 0 {
+				task := readyTasks[0]
+				readyTasks = readyTasks[1:]
+				assign(w, task)
 			} else {
 				heap.Push(&idle, idleWorker{sim.Now(), w})
 			}
 		})
 	}
-	dispatched := 0
-	var dispatch func()
 	dispatch = func() {
-		if dispatched >= plan.Tasks {
+		if dispatching || !masterAlive || finished || r.err != nil {
 			return
 		}
-		sim.Schedule(perDispatch, func() {
-			dispatched++
-			ready++
-			if idle.Len() > 0 {
-				iw := heap.Pop(&idle).(idleWorker)
-				assign(iw.w)
+		if len(redispatch) == 0 && nextNew >= plan.Tasks {
+			return
+		}
+		dispatching = true
+		dispatchTimer = sim.ScheduleTimer(perDispatch, func() {
+			dispatching = false
+			if finished || r.err != nil {
+				return
+			}
+			var task int
+			if len(redispatch) > 0 {
+				task = redispatch[0]
+				redispatch = redispatch[1:]
+			} else {
+				task = nextNew
+				nextNew++
+			}
+			if w, ok := popIdle(); ok {
+				assign(w, task)
+			} else {
+				readyTasks = append(readyTasks, task)
 			}
 			dispatch()
 		})
 	}
-	sim.At(startup, func() {
-		for w := range vcpus {
-			heap.Push(&idle, idleWorker{sim.Now(), w})
+
+	requeue := func(task int) {
+		if retries == nil {
+			retries = map[int]int{}
 		}
-		dispatch()
+		retries[task]++
+		if r.rec.MaxTaskRetries > 0 && retries[task] > r.rec.MaxTaskRetries {
+			r.fail("cloudsim: task %d exceeded its retry budget of %d re-dispatches", task, r.rec.MaxTaskRetries)
+			return
+		}
+		redispatch = append(redispatch, task)
+	}
+
+	sim.At(r.startup, func() {
+		started = true
+		for w := range vcpus {
+			if !dead[w] {
+				heap.Push(&idle, idleWorker{sim.Now(), w})
+			}
+		}
+		if masterAlive {
+			dispatch()
+		}
 	})
+
+	promote := func() {
+		if finished || r.err != nil || masterAlive {
+			return
+		}
+		best := -1
+		for i, ok := range aliveInst {
+			if ok {
+				best = i
+				break
+			}
+		}
+		if best < 0 {
+			return // no candidate yet; a booting replacement will retry
+		}
+		masterInst = best
+		masterAlive = true
+		perDispatch = units.Time(plan.DispatchInstr, r.cluster[best].PerVCPURate()) + shipping
+		if started {
+			dispatch()
+		}
+	}
+
+	for _, e := range r.trace.Events() {
+		e := e
+		sim.At(e.At, func() {
+			if finished || r.err != nil || !aliveInst[e.Instance] {
+				return
+			}
+			aliveInst[e.Instance] = false
+			for w := range vcpus {
+				if vcpus[w].inst != e.Instance || dead[w] {
+					continue
+				}
+				dead[w] = true
+				gen[w]++
+				if current[w] >= 0 {
+					requeue(current[w])
+					current[w] = -1
+				}
+			}
+			if e.Instance == masterInst {
+				// The master's queue of shipped-but-unstarted inputs
+				// dies with it; those tasks are re-shipped after
+				// failover.
+				masterAlive = false
+				if dispatchTimer != nil {
+					dispatchTimer.Cancel()
+				}
+				dispatching = false
+				for _, task := range readyTasks {
+					requeue(task)
+				}
+				readyTasks = readyTasks[:0]
+				sim.Schedule(r.rec.FailoverDetection, promote)
+			}
+			if r.rec.Respawn {
+				r.spawnReplacement(e.Instance, func(idx int) {
+					if finished || r.err != nil {
+						return
+					}
+					for len(aliveInst) < idx+1 {
+						aliveInst = append(aliveInst, false)
+					}
+					aliveInst[idx] = true
+					in := r.cluster[idx]
+					for v := 0; v < in.Type.VCPUs; v++ {
+						vcpus = append(vcpus, vcpuRef{inst: idx, rate: in.PerVCPURate() * units.Rate(factor)})
+						dead = append(dead, false)
+						gen = append(gen, 0)
+						current = append(current, -1)
+						w := len(vcpus) - 1
+						if started {
+							if len(readyTasks) > 0 {
+								task := readyTasks[0]
+								readyTasks = readyTasks[1:]
+								assign(w, task)
+							} else {
+								heap.Push(&idle, idleWorker{sim.Now(), w})
+							}
+						}
+					}
+					if !masterAlive {
+						promote()
+					}
+				})
+			}
+			if masterAlive && started {
+				dispatch() // re-dispatch work lost with the workers
+			}
+			if !masterAlive && !anyAlive(aliveInst) && !r.rec.Respawn {
+				r.fail("cloudsim: master and all workers failed")
+			}
+		})
+	}
 	sim.Run()
-	if finish < startup {
-		finish = startup
+	if r.err == nil && completed < plan.Tasks {
+		r.fail("cloudsim: %d of %d tasks incomplete after failures", plan.Tasks-completed, plan.Tasks)
+	}
+	if finish < r.startup {
+		finish = r.startup
 	}
 	return finish, plan.Tasks
+}
+
+func anyAlive(alive []bool) bool {
+	for _, ok := range alive {
+		if ok {
+			return true
+		}
+	}
+	return false
 }

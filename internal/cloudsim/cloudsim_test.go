@@ -2,6 +2,7 @@ package cloudsim
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/apps/galaxy"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/apps/x264"
 	"repro/internal/config"
 	"repro/internal/ec2"
+	"repro/internal/faults"
 	"repro/internal/model"
 	"repro/internal/stats"
 	"repro/internal/units"
@@ -351,5 +353,418 @@ func TestFailureWorkConservation(t *testing.T) {
 	if e := stats.RelErr(float64(resFail.Makespan), float64(resOne.Makespan)); e > 5 {
 		t.Fatalf("immediate failure (%v) differs %.1f%% from single-instance run (%v)",
 			resFail.Makespan, e, resOne.Makespan)
+	}
+}
+
+func TestZeroEventTraceBitForBit(t *testing.T) {
+	// An explicitly empty trace under Recover (with checkpointing off)
+	// must follow the exact event sequence and float arithmetic of the
+	// default strict run: same makespan, same cost, to the last bit.
+	cat := ec2.Oregon()
+	cases := []struct {
+		app   workload.App
+		p     workload.Params
+		tuple config.Tuple
+	}{
+		{x264.App{}, workload.Params{N: 32, A: 20}, config.MustTuple(2, 0, 0, 0, 0, 0, 0, 0, 0)},
+		{galaxy.App{}, workload.Params{N: 2048, A: 10}, config.MustTuple(1, 1, 0, 0, 0, 0, 0, 0, 0)},
+		{sand.App{}, workload.Params{N: 8e6, A: 0.32}, config.MustTuple(2, 0, 0, 0, 0, 0, 0, 0, 0)},
+	}
+	for _, c := range cases {
+		base, err := Run(c.app, c.p, c.tuple, cat, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", c.app.Name(), err)
+		}
+		rec := DefaultOptions()
+		rec.Trace = faults.Trace{}
+		rec.Recovery = faults.Recovery{Mode: faults.Recover, MaxTaskRetries: 3, FailoverDetection: 10}
+		got, err := Run(c.app, c.p, c.tuple, cat, rec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.app.Name(), err)
+		}
+		if got.Makespan != base.Makespan || got.Cost != base.Cost || got.Events != base.Events {
+			t.Fatalf("%s: zero-event Recover run diverged: makespan %v vs %v, cost %v vs %v, events %d vs %d",
+				c.app.Name(), got.Makespan, base.Makespan, got.Cost, base.Cost, got.Events, base.Events)
+		}
+		if got.Failures != 0 || got.Respawned != 0 {
+			t.Fatalf("%s: zero-event run reports %d failures / %d respawns",
+				c.app.Name(), got.Failures, got.Respawned)
+		}
+	}
+}
+
+func TestStrictAbortTraceReproducesAborts(t *testing.T) {
+	// Multi-event traces under the zero-value (StrictAbort) policy must
+	// reproduce the exact legacy abort errors for gang-scheduled and
+	// master-anchored plans.
+	cat := ec2.Oregon()
+	opts := DefaultOptions()
+	opts.Trace = faults.NewTrace(
+		faults.Event{Instance: 0, At: 10},
+		faults.Event{Instance: 1, At: 20},
+	)
+	_, err := Run(galaxy.App{}, workload.Params{N: 2048, A: 10},
+		config.MustTuple(2, 0, 0, 0, 0, 0, 0, 0, 0), cat, opts)
+	if err == nil || err.Error() != "cloudsim: gang-scheduled BSP job aborts on instance failure" {
+		t.Fatalf("BSP strict abort error = %v", err)
+	}
+	_, err = Run(sand.App{}, workload.Params{N: 8e6, A: 0.32},
+		config.MustTuple(2, 0, 0, 0, 0, 0, 0, 0, 0), cat, opts)
+	if err == nil || err.Error() != "cloudsim: work-queue job aborts when an instance fails (master-anchored)" {
+		t.Fatalf("master-worker strict abort error = %v", err)
+	}
+}
+
+func TestBSPCheckpointOverheadBilled(t *testing.T) {
+	// With no failures, checkpointing every k steps costs exactly
+	// floor((steps-1)/k) checkpoint writes of wall time on top of the
+	// plain barrier loop — and that time is billed.
+	cat := ec2.Oregon()
+	var app galaxy.App
+	p := workload.Params{N: 4096, A: 50}
+	tuple := config.MustTuple(2, 0, 0, 0, 0, 0, 0, 0, 0)
+	plain, err := Run(app, p, tuple, cat, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Recovery = faults.Recovery{Mode: faults.Recover, CheckpointEverySteps: 10, CheckpointCost: 5}
+	ck, err := Run(app, p, tuple, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 steps, checkpoints after 10, 20, 30, 40 (never after the last).
+	want := plain.Makespan + 4*5
+	if math.Abs(float64(ck.Makespan-want)) > 1e-6 {
+		t.Fatalf("checkpointed makespan %v, want plain %v + 20s", ck.Makespan, plain.Makespan)
+	}
+	if ck.Cost <= plain.Cost {
+		t.Fatalf("checkpoint overhead not billed: %v vs %v", ck.Cost, plain.Cost)
+	}
+}
+
+func TestBSPCheckpointRestartCompletes(t *testing.T) {
+	// A mid-run failure rolls the survivors back to the last checkpoint;
+	// the run still completes every step, and checkpointing beats
+	// restarting the whole computation from step 0.
+	cat := ec2.Oregon()
+	var app galaxy.App
+	p := workload.Params{N: 4096, A: 50}
+	tuple := config.MustTuple(2, 0, 0, 0, 0, 0, 0, 0, 0)
+	rec := faults.Recovery{Mode: faults.Recover, CheckpointEverySteps: 5, CheckpointCost: 2}
+
+	ckOnly := DefaultOptions()
+	ckOnly.Recovery = rec
+	base, err := Run(app, p, tuple, cat, ckOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failAt := units.Seconds(0.6 * float64(base.Makespan))
+
+	withFail := ckOnly
+	withFail.Trace = faults.NewTrace(faults.Event{Instance: 1, At: failAt})
+	res, err := Run(app, p, tuple, cat, withFail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != 50 {
+		t.Fatalf("steps completed = %d, want 50", res.Tasks)
+	}
+	if res.Makespan <= base.Makespan {
+		t.Fatalf("mid-run failure did not slow the run: %v vs %v", res.Makespan, base.Makespan)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", res.Failures)
+	}
+
+	noCkpt := DefaultOptions()
+	noCkpt.Recovery = faults.Recovery{Mode: faults.Recover}
+	noCkpt.Trace = withFail.Trace
+	fromZero, err := Run(app, p, tuple, cat, noCkpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromZero.Makespan <= res.Makespan {
+		t.Fatalf("restart-from-zero (%v) not slower than checkpointed restart (%v)",
+			fromZero.Makespan, res.Makespan)
+	}
+}
+
+func TestBSPAllRanksFailedErrors(t *testing.T) {
+	cat := ec2.Oregon()
+	opts := DefaultOptions()
+	opts.Recovery = faults.Recovery{Mode: faults.Recover, CheckpointEverySteps: 5, CheckpointCost: 2}
+	opts.Trace = faults.NewTrace(
+		faults.Event{Instance: 0, At: 1},
+		faults.Event{Instance: 1, At: 2},
+	)
+	_, err := Run(galaxy.App{}, workload.Params{N: 2048, A: 20},
+		config.MustTuple(2, 0, 0, 0, 0, 0, 0, 0, 0), cat, opts)
+	if err == nil {
+		t.Fatal("run with every rank dead completed")
+	}
+}
+
+func TestBSPRespawnRevivesDeadCluster(t *testing.T) {
+	// Sole instance dies mid-run; a respawned replacement boots, rejoins
+	// the (otherwise empty) world at the restart, and finishes the job.
+	cat := ec2.Oregon()
+	var app galaxy.App
+	p := workload.Params{N: 2048, A: 20}
+	tuple := config.MustTuple(1, 0, 0, 0, 0, 0, 0, 0, 0)
+	base, err := Run(app, p, tuple, cat, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Recovery = faults.Recovery{
+		Mode: faults.Recover, CheckpointEverySteps: 5, CheckpointCost: 2, Respawn: true,
+	}
+	opts.Trace = faults.NewTrace(faults.Event{Instance: 0, At: base.Makespan / 2})
+	res, err := Run(app, p, tuple, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Respawned != 1 {
+		t.Fatalf("respawned = %d, want 1", res.Respawned)
+	}
+	// The replacement sits out the boot latency, then redoes the steps
+	// since the last checkpoint.
+	if res.Makespan <= base.Makespan/2+opts.Boot {
+		t.Fatalf("makespan %v finished before the replacement could boot", res.Makespan)
+	}
+	if res.Tasks != 20 {
+		t.Fatalf("steps = %d, want 20", res.Tasks)
+	}
+}
+
+func TestMasterFailoverCompletes(t *testing.T) {
+	// The master dies mid-run; after FailoverDetection a surviving
+	// instance is promoted and the remaining work drains through it.
+	cat := ec2.Oregon()
+	var app sand.App
+	p := workload.Params{N: 64e6, A: 0.32}
+	tuple := config.MustTuple(3, 0, 0, 0, 0, 0, 0, 0, 0)
+	base, err := Run(app, p, tuple, cat, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Recovery = faults.Recovery{Mode: faults.Recover, MaxTaskRetries: 5, FailoverDetection: 10}
+	opts.Trace = faults.NewTrace(faults.Event{Instance: 0, At: base.Makespan / 2})
+	res, err := Run(app, p, tuple, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= base.Makespan {
+		t.Fatalf("master failover did not slow the run: %v vs %v", res.Makespan, base.Makespan)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", res.Failures)
+	}
+	// The dead master stops billing at the failure.
+	if res.Cost >= base.Cost*2 {
+		t.Fatalf("failover run cost %v unreasonably high vs %v", res.Cost, base.Cost)
+	}
+}
+
+func TestMasterAndAllWorkersFailErrors(t *testing.T) {
+	cat := ec2.Oregon()
+	opts := DefaultOptions()
+	opts.Recovery = faults.Recovery{Mode: faults.Recover, FailoverDetection: 10}
+	opts.Trace = faults.NewTrace(
+		faults.Event{Instance: 0, At: 30},
+		faults.Event{Instance: 1, At: 31},
+	)
+	_, err := Run(sand.App{}, workload.Params{N: 64e6, A: 0.32},
+		config.MustTuple(2, 0, 0, 0, 0, 0, 0, 0, 0), cat, opts)
+	if err == nil {
+		t.Fatal("run with master and every worker dead completed")
+	}
+}
+
+func TestMasterWorkerRespawnRevivesDeadCluster(t *testing.T) {
+	// Both instances die; respawned replacements boot, one is promoted
+	// to master, and the queue drains to completion.
+	cat := ec2.Oregon()
+	var app sand.App
+	p := workload.Params{N: 64e6, A: 0.32}
+	tuple := config.MustTuple(2, 0, 0, 0, 0, 0, 0, 0, 0)
+	base, err := Run(app, p, tuple, cat, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Recovery = faults.Recovery{
+		Mode: faults.Recover, MaxTaskRetries: 5, FailoverDetection: 10, Respawn: true,
+	}
+	opts.Trace = faults.NewTrace(
+		faults.Event{Instance: 0, At: base.Makespan / 3},
+		faults.Event{Instance: 1, At: base.Makespan / 2},
+	)
+	res, err := Run(app, p, tuple, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Respawned != 2 {
+		t.Fatalf("respawned = %d, want 2", res.Respawned)
+	}
+	if res.Makespan <= base.Makespan {
+		t.Fatalf("double failure did not slow the run: %v vs %v", res.Makespan, base.Makespan)
+	}
+}
+
+func TestIndependentMultiFailureConservation(t *testing.T) {
+	// Two of three instances die immediately: every task still completes
+	// exactly once, so the makespan matches a single-instance run.
+	cat := ec2.Oregon()
+	var app x264.App
+	p := workload.Params{N: 32, A: 20}
+	three := config.MustTuple(3, 0, 0, 0, 0, 0, 0, 0, 0)
+	one := config.MustTuple(1, 0, 0, 0, 0, 0, 0, 0, 0)
+
+	opts := DefaultOptions()
+	opts.Recovery = faults.DefaultRecovery()
+	opts.Trace = faults.NewTrace(
+		faults.Event{Instance: 1, At: units.Seconds(0.001)},
+		faults.Event{Instance: 2, At: units.Seconds(0.002)},
+	)
+	resFail, err := Run(app, p, three, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOne, err := Run(app, p, one, cat, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := stats.RelErr(float64(resFail.Makespan), float64(resOne.Makespan)); e > 5 {
+		t.Fatalf("double immediate failure (%v) differs %.1f%% from single-instance run (%v)",
+			resFail.Makespan, e, resOne.Makespan)
+	}
+	if resFail.Failures != 2 {
+		t.Fatalf("failures = %d, want 2", resFail.Failures)
+	}
+}
+
+func TestIndependentRetryBudgetExceeded(t *testing.T) {
+	// A task lost twice under MaxTaskRetries=1 must fail the run: fail
+	// one instance mid-wave (its tasks are re-dispatched), then kill
+	// both survivors while the retried tasks are in flight.
+	cat := ec2.Oregon()
+	var app x264.App
+	p := workload.Params{N: 6, A: 20} // one task per vCPU: a single wave
+	tuple := config.MustTuple(3, 0, 0, 0, 0, 0, 0, 0, 0)
+	opts := DefaultOptions()
+	opts.Startup = map[string]units.Seconds{"x264": 0}
+	base, err := Run(app, p, tuple, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave := float64(base.Makespan)
+	opts.Recovery = faults.Recovery{Mode: faults.Recover, MaxTaskRetries: 1}
+	opts.Trace = faults.NewTrace(
+		faults.Event{Instance: 0, At: units.Seconds(0.5 * wave)},
+		faults.Event{Instance: 1, At: units.Seconds(1.3 * wave)},
+		faults.Event{Instance: 2, At: units.Seconds(1.35 * wave)},
+	)
+	_, err = Run(app, p, tuple, cat, opts)
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("exhausted retry budget not reported: %v", err)
+	}
+}
+
+func TestIndependentRespawnSpeedsRecoveryAndBills(t *testing.T) {
+	cat := ec2.Oregon()
+	var app x264.App
+	p := workload.Params{N: 64, A: 20}
+	tuple := config.MustTuple(2, 0, 0, 0, 0, 0, 0, 0, 0)
+	base, err := Run(app, p, tuple, cat, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := faults.NewTrace(faults.Event{Instance: 1, At: units.Seconds(0.3 * float64(base.Makespan))})
+
+	noRespawn := DefaultOptions()
+	noRespawn.Recovery = faults.DefaultRecovery()
+	noRespawn.Trace = trace
+	plain, err := Run(app, p, tuple, cat, noRespawn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRespawn := noRespawn
+	withRespawn.Recovery.Respawn = true
+	res, err := Run(app, p, tuple, cat, withRespawn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Respawned != 1 {
+		t.Fatalf("respawned = %d, want 1", res.Respawned)
+	}
+	if res.Makespan >= plain.Makespan {
+		t.Fatalf("replacement capacity did not speed the run: %v vs %v", res.Makespan, plain.Makespan)
+	}
+	// The replacement is billed from the failure through run end, so it
+	// cannot be free.
+	price, _ := cat.Lookup("c4.large")
+	replBill := float64(price.Price) / 3600 * (float64(res.Makespan) - 0.3*float64(base.Makespan))
+	if float64(res.Cost) <= float64(plain.Cost)-float64(plain.Makespan-res.Makespan)*2*float64(price.Price)/3600 {
+		t.Fatalf("respawn run cost %v does not include replacement billing (~%.4f USD)", res.Cost, replBill)
+	}
+	// Determinism with respawns in play.
+	again, err := Run(app, p, tuple, cat, withRespawn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Makespan != res.Makespan || again.Cost != res.Cost {
+		t.Fatal("respawn run not deterministic for equal options")
+	}
+}
+
+func TestMultiEventBillingCaps(t *testing.T) {
+	// Every failed instance bills Boot + min(FailAt, makespan); the
+	// survivor bills Boot + makespan.
+	cat := ec2.Oregon()
+	var app x264.App
+	p := workload.Params{N: 32, A: 20}
+	tuple := config.MustTuple(3, 0, 0, 0, 0, 0, 0, 0, 0)
+	opts := DefaultOptions()
+	opts.Recovery = faults.DefaultRecovery()
+	t1, t2 := units.Seconds(40), units.Seconds(90)
+	opts.Trace = faults.NewTrace(
+		faults.Event{Instance: 1, At: t1},
+		faults.Event{Instance: 2, At: t2},
+	)
+	res, err := Run(app, p, tuple, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	price, _ := cat.Lookup("c4.large")
+	perHr := float64(price.Price) / 3600
+	want := perHr * (float64(opts.Boot+res.Makespan) + float64(opts.Boot+t1) + float64(opts.Boot+t2))
+	if math.Abs(float64(res.Cost)-want)/want > 1e-9 {
+		t.Fatalf("cost = %v, want %v (per-event billing caps)", res.Cost, want)
+	}
+}
+
+func TestFailureAfterCompletionBillsFullSpan(t *testing.T) {
+	// An event after the run already finished changes nothing: the
+	// instance bills through the makespan, exactly as without the event.
+	cat := ec2.Oregon()
+	var app x264.App
+	p := workload.Params{N: 16, A: 20}
+	tuple := config.MustTuple(2, 0, 0, 0, 0, 0, 0, 0, 0)
+	base, err := Run(app, p, tuple, cat, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Trace = faults.NewTrace(faults.Event{Instance: 1, At: base.Makespan + 1e6})
+	res, err := Run(app, p, tuple, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != base.Makespan || res.Cost != base.Cost {
+		t.Fatalf("post-completion event altered the run: makespan %v vs %v, cost %v vs %v",
+			res.Makespan, base.Makespan, res.Cost, base.Cost)
 	}
 }

@@ -74,6 +74,40 @@ func (s *Sim) At(t units.Seconds, fn func()) {
 	s.seq++
 }
 
+// Timer is a handle to a scheduled event that can be canceled before
+// it fires. The failure-recovery paths of the cloud simulator use it
+// for work that a failure invalidates (a master's in-flight dispatch,
+// for example): canceling is O(1) — the calendar entry stays queued but
+// fires as a no-op.
+type Timer struct {
+	canceled bool
+	fired    bool
+}
+
+// Cancel stops the timer's event from running. It reports whether the
+// cancellation happened before the event fired.
+func (t *Timer) Cancel() bool {
+	if t.fired || t.canceled {
+		return false
+	}
+	t.canceled = true
+	return true
+}
+
+// ScheduleTimer is Schedule with a cancellation handle: fn runs delay
+// after the current time unless the returned timer is canceled first.
+func (s *Sim) ScheduleTimer(delay units.Seconds, fn func()) *Timer {
+	t := &Timer{}
+	s.Schedule(delay, func() {
+		if t.canceled {
+			return
+		}
+		t.fired = true
+		fn()
+	})
+	return t
+}
+
 // Run fires events in timestamp order until the calendar is empty and
 // returns the final time.
 func (s *Sim) Run() units.Seconds {

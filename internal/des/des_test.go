@@ -117,3 +117,35 @@ func TestManyEventsStress(t *testing.T) {
 		t.Fatalf("count=%d end=%v", count, end)
 	}
 }
+
+func TestScheduleTimerFiresAndCancels(t *testing.T) {
+	var s Sim
+	fired := 0
+	s.ScheduleTimer(5, func() { fired++ })
+	tm := s.ScheduleTimer(10, func() { fired++ })
+	if !tm.Cancel() {
+		t.Fatal("pending timer refused cancellation")
+	}
+	if tm.Cancel() {
+		t.Fatal("second cancel reported success")
+	}
+	end := s.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d events, want 1 (canceled timer ran?)", fired)
+	}
+	// The canceled event still occupies the calendar, so the clock
+	// advances through it.
+	if end != 10 {
+		t.Fatalf("end = %v, want 10", end)
+	}
+}
+
+func TestTimerCancelAfterFire(t *testing.T) {
+	var s Sim
+	var tm *Timer
+	tm = s.ScheduleTimer(1, func() {})
+	s.Run()
+	if tm.Cancel() {
+		t.Fatal("cancel after firing reported success")
+	}
+}

@@ -1,0 +1,241 @@
+// Package faults is the failure model of the cloud substrate: ordered
+// multi-instance failure traces, seeded trace generators, and the
+// recovery policies the simulator applies per plan kind.
+//
+// CELIA targets on-demand EC2 precisely because interruptions make
+// deadline guarantees hard (paper's Related Work vs. Marathe's and
+// Gong's spot systems). Quantifying how a configuration's makespan and
+// cost degrade when instances die mid-run therefore needs a fault
+// model the simulator, the spot market, and the risk queries all
+// share:
+//
+//   - a Trace is the ground truth of one run: which instances die and
+//     when, measured from application launch;
+//   - PoissonTrace draws traces from a per-instance-hour hazard rate
+//     (the memoryless interruption model of the spot literature);
+//   - internal/spot derives traces from market price crossings, so the
+//     spot and on-demand stories use one fault representation;
+//   - Recovery selects what the simulator does when an event fires:
+//     the paper-faithful abort (StrictAbort, the Table IV validation
+//     path) or per-plan-kind recovery — bounded task re-dispatch,
+//     BSP checkpoint/restart, master failover — with optional
+//     replacement provisioning.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// Event is one instance failure: the instance (by provisioning order)
+// terminates at time At, measured from application launch. Work in
+// flight on the instance at that moment is lost.
+type Event struct {
+	Instance int
+	At       units.Seconds
+}
+
+func (e Event) String() string { return fmt.Sprintf("fail(vm-%d @ %v)", e.Instance, e.At) }
+
+// Trace is an ordered sequence of failure events for one run. The zero
+// value is the empty trace (no failures). Each instance fails at most
+// once: a terminated instance stays terminated, and replacement
+// instances provisioned by a recovery policy are never re-targeted by
+// the same trace.
+type Trace struct {
+	events []Event
+}
+
+// NewTrace builds a trace from events, sorting them by (time,
+// instance).
+func NewTrace(events ...Event) Trace {
+	out := append([]Event(nil), events...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Instance < out[j].Instance
+	})
+	return Trace{events: out}
+}
+
+// Events returns the events in time order. Callers must not mutate the
+// returned slice.
+func (t Trace) Events() []Event { return t.events }
+
+// Len reports the number of failure events.
+func (t Trace) Len() int { return len(t.events) }
+
+// Empty reports whether the trace has no events.
+func (t Trace) Empty() bool { return len(t.events) == 0 }
+
+// Validate checks the trace against a cluster size: every event must
+// target an existing instance at a non-negative time, and no instance
+// may fail twice.
+func (t Trace) Validate(instances int) error {
+	seen := make(map[int]bool, len(t.events))
+	for _, e := range t.events {
+		if e.Instance < 0 || e.Instance >= instances {
+			return fmt.Errorf("faults: event %v outside cluster of %d", e, instances)
+		}
+		if e.At < 0 {
+			return fmt.Errorf("faults: event %v at negative time", e)
+		}
+		if seen[e.Instance] {
+			return fmt.Errorf("faults: instance %d fails twice", e.Instance)
+		}
+		seen[e.Instance] = true
+	}
+	return nil
+}
+
+func (t Trace) String() string {
+	if t.Empty() {
+		return "trace{}"
+	}
+	return fmt.Sprintf("trace%v", t.events)
+}
+
+// rng is a splitmix64 generator: tiny, seedable, and stable across Go
+// releases (unlike math/rand's unspecified default source), which keeps
+// traces — and therefore every Monte-Carlo risk answer — replayable.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float01 draws a uniform value in [0, 1).
+func (r *rng) float01() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// expSeconds draws an exponential waiting time (seconds) for a
+// per-hour rate.
+func (r *rng) expSeconds(ratePerHour float64) units.Seconds {
+	u := r.float01()
+	// 1-u ∈ (0, 1]: the log is finite.
+	return units.Seconds(-math.Log(1-u) / ratePerHour * 3600)
+}
+
+// PoissonTrace draws one failure trace for a cluster of the given size
+// over the horizon: each instance's time-to-failure is exponential with
+// the per-instance-hour hazard rate (memoryless interruptions, the
+// standard model of the spot-market literature); failures beyond the
+// horizon are dropped. Deterministic for a (seed, hazard, instances,
+// horizon) quadruple. A non-positive hazard yields the empty trace.
+func PoissonTrace(seed uint64, hazardPerInstanceHour float64, instances int, horizon units.Seconds) Trace {
+	if hazardPerInstanceHour <= 0 || instances <= 0 || horizon <= 0 {
+		return Trace{}
+	}
+	r := newRNG(seed)
+	var events []Event
+	for i := 0; i < instances; i++ {
+		at := r.expSeconds(hazardPerInstanceHour)
+		if at <= horizon {
+			events = append(events, Event{Instance: i, At: at})
+		}
+	}
+	return NewTrace(events...)
+}
+
+// Mode selects what the simulator does when a failure event fires.
+type Mode int
+
+const (
+	// StrictAbort is the paper-faithful fault model and the zero value:
+	// independent plans re-dispatch lost tasks without bound (x264's
+	// clip farm shrugs off node loss), while gang-scheduled BSP and
+	// master-anchored work-queue plans abort with an error. This is the
+	// Table IV validation path.
+	StrictAbort Mode = iota
+	// Recover applies the per-plan-kind recovery policies below instead
+	// of aborting.
+	Recover
+)
+
+func (m Mode) String() string {
+	switch m {
+	case StrictAbort:
+		return "strict-abort"
+	case Recover:
+		return "recover"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Recovery configures failure handling per plan kind. The zero value is
+// StrictAbort with no recovery machinery — exactly the pre-fault-model
+// simulator behavior.
+type Recovery struct {
+	Mode Mode
+
+	// MaxTaskRetries bounds how many times one task may be re-dispatched
+	// after instance failures (independent and master-worker plans).
+	// When a task exceeds the budget the run fails; ≤ 0 means unbounded.
+	MaxTaskRetries int
+
+	// CheckpointEverySteps is the BSP checkpoint interval k: after every
+	// k completed steps the ranks write a coordinated checkpoint costing
+	// CheckpointCost of wall time. On failure the survivors restart from
+	// the last checkpoint (paying CheckpointCost once more to read it
+	// back) with the elements repartitioned proportionally to surviving
+	// rank speed. 0 disables checkpointing: a failure restarts the
+	// computation from step 0.
+	CheckpointEverySteps int
+	CheckpointCost       units.Seconds
+
+	// FailoverDetection is how long the work-queue cluster takes to
+	// detect a dead master and promote the lowest-indexed surviving
+	// instance. Dispatch is paused in between; tasks whose inputs were
+	// shipped but not started are re-dispatched by the new master.
+	FailoverDetection units.Seconds
+
+	// Respawn provisions a replacement for every failed instance: the
+	// replacement boots for the cluster's boot latency and is billed
+	// from the moment the failure is detected (i.e. the failure time).
+	// BSP replacements join at the next checkpoint restart (the MPI
+	// world is rebuilt there); independent and master-worker
+	// replacements join as soon as they boot.
+	Respawn bool
+}
+
+// DefaultRecovery returns a tolerant policy: recover everywhere, three
+// re-dispatches per task, checkpoint every 10 BSP steps at 5 s of I/O,
+// 10 s master-failover detection, no replacement provisioning.
+func DefaultRecovery() Recovery {
+	return Recovery{
+		Mode:                 Recover,
+		MaxTaskRetries:       3,
+		CheckpointEverySteps: 10,
+		CheckpointCost:       5,
+		FailoverDetection:    10,
+	}
+}
+
+// Validate rejects nonsensical policies.
+func (r Recovery) Validate() error {
+	if r.Mode != StrictAbort && r.Mode != Recover {
+		return fmt.Errorf("faults: unknown recovery mode %v", r.Mode)
+	}
+	if r.CheckpointEverySteps < 0 {
+		return fmt.Errorf("faults: negative checkpoint interval %d", r.CheckpointEverySteps)
+	}
+	if r.CheckpointCost < 0 {
+		return fmt.Errorf("faults: negative checkpoint cost %v", r.CheckpointCost)
+	}
+	if r.FailoverDetection < 0 {
+		return fmt.Errorf("faults: negative failover detection %v", r.FailoverDetection)
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+// Package risk estimates deadline risk under instance failures: a
+// seeded Monte-Carlo evaluator that replays one configuration through
+// the cloud simulator across many drawn failure traces and reports the
+// probability of missing the deadline plus makespan and cost quantiles.
+//
+// CELIA's deterministic answer — "configuration c finishes D within T′
+// at minimal cost" — silently assumes no instance dies. This package
+// quantifies the assumption: with a per-instance-hour hazard λ and a
+// recovery policy, P(makespan > T′) is the number a user trading cost
+// against deadline risk actually needs. Every estimate is replayable:
+// the same (seed, hazard, trials) triple drives the same traces through
+// the same simulator, in parallel, with a deterministic result.
+package risk
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cloudsim"
+	"repro/internal/config"
+	"repro/internal/ec2"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// DefaultTrials is the trial count when Options.Trials is zero: enough
+// to resolve miss probabilities around a few percent without making an
+// interactive query sluggish.
+const DefaultTrials = 200
+
+// MaxTrials bounds a single estimate; it keeps one API request from
+// monopolizing the server.
+const MaxTrials = 10000
+
+// Options configure one estimate.
+type Options struct {
+	// Trials is the number of Monte-Carlo draws; 0 means DefaultTrials.
+	Trials int
+	// Seed drives the trace draws. Trial i uses a seed derived from
+	// (Seed, i), so one estimate's trials are independent but the whole
+	// estimate replays exactly.
+	Seed uint64
+	// HazardPerHour is the per-instance-hour failure rate λ fed to
+	// faults.PoissonTrace. Zero means no failures (every trial equals
+	// the base run).
+	HazardPerHour float64
+	// Deadline is the paper's T′: a trial misses when its makespan
+	// exceeds it. Trials whose run errors out (aborts, exhausted retry
+	// budgets, dead clusters) always count as misses.
+	Deadline units.Seconds
+	// Workers caps the parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Sim is the base simulator configuration; its Trace and legacy
+	// failure fields are overwritten per trial.
+	Sim cloudsim.Options
+	// Recovery is the failure-handling policy applied to every trial
+	// and to the base run (so checkpointing overhead shows up in the
+	// base makespan too).
+	Recovery faults.Recovery
+}
+
+// Result is one Monte-Carlo estimate.
+type Result struct {
+	Trials int // trials evaluated
+	Failed int // trials whose simulation returned an error
+
+	// MissProb is P(makespan > Deadline); failed trials count as
+	// misses.
+	MissProb float64
+
+	// Base is the failure-free reference run under the same recovery
+	// policy.
+	BaseMakespan units.Seconds
+	BaseCost     units.USD
+
+	// Makespan and cost quantiles over the successful trials.
+	MakespanP50 units.Seconds
+	MakespanP90 units.Seconds
+	MakespanP99 units.Seconds
+	CostP50     units.USD
+	CostP90     units.USD
+	CostP99     units.USD
+
+	// MeanFailures is the mean number of failure events per trial
+	// (including failed trials) — a sanity check that the hazard and
+	// horizon produce the intended event density.
+	MeanFailures float64
+}
+
+// trialSeed derives the trace seed for one trial: a splitmix64-style
+// mix keeps neighboring trial indices uncorrelated.
+func trialSeed(seed uint64, trial int) uint64 {
+	z := seed + (uint64(trial)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Estimate runs the Monte-Carlo evaluation. Deterministic for equal
+// inputs regardless of Workers: results are collected by trial index
+// and aggregated in order.
+func Estimate(app workload.App, p workload.Params, tuple config.Tuple, cat *ec2.Catalog, opts Options) (Result, error) {
+	if opts.Trials < 0 {
+		return Result{}, fmt.Errorf("risk: negative trial count %d", opts.Trials)
+	}
+	if opts.Trials == 0 {
+		opts.Trials = DefaultTrials
+	}
+	if opts.Trials > MaxTrials {
+		return Result{}, fmt.Errorf("risk: %d trials exceeds the limit of %d", opts.Trials, MaxTrials)
+	}
+	if opts.HazardPerHour < 0 {
+		return Result{}, fmt.Errorf("risk: negative hazard rate %v", opts.HazardPerHour)
+	}
+	if opts.Deadline <= 0 {
+		return Result{}, fmt.Errorf("risk: deadline must be positive, got %v", opts.Deadline)
+	}
+	if err := opts.Recovery.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	base := opts.Sim
+	base.Trace = faults.Trace{}
+	base.FailInstance, base.FailAt = 0, 0
+	base.Recovery = opts.Recovery
+	ref, err := cloudsim.Run(app, p, tuple, cat, base)
+	if err != nil {
+		return Result{}, fmt.Errorf("risk: base run: %w", err)
+	}
+
+	// Failures can only matter while the job runs; the horizon covers
+	// slow recovered runs and the full deadline with margin.
+	horizon := 3 * ref.Makespan
+	if h := 2 * opts.Deadline; h > horizon {
+		horizon = h
+	}
+
+	type trial struct {
+		makespan units.Seconds
+		cost     units.USD
+		failures int
+		err      error
+	}
+	trials := make([]trial, opts.Trials)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.Trials {
+		workers = opts.Trials
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				tr := faults.PoissonTrace(trialSeed(opts.Seed, i), opts.HazardPerHour, ref.Instances, horizon)
+				o := base
+				o.Trace = tr
+				res, err := cloudsim.Run(app, p, tuple, cat, o)
+				if err != nil {
+					trials[i] = trial{failures: tr.Len(), err: err}
+					continue
+				}
+				trials[i] = trial{makespan: res.Makespan, cost: res.Cost, failures: res.Failures}
+			}
+		}()
+	}
+	for i := 0; i < opts.Trials; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	out := Result{
+		Trials:       opts.Trials,
+		BaseMakespan: ref.Makespan,
+		BaseCost:     ref.Cost,
+	}
+	var makespans, costs []float64
+	misses := 0
+	totalFailures := 0
+	for _, tr := range trials {
+		totalFailures += tr.failures
+		if tr.err != nil {
+			out.Failed++
+			misses++
+			continue
+		}
+		if tr.makespan > opts.Deadline {
+			misses++
+		}
+		makespans = append(makespans, float64(tr.makespan))
+		costs = append(costs, float64(tr.cost))
+	}
+	out.MissProb = float64(misses) / float64(opts.Trials)
+	out.MeanFailures = float64(totalFailures) / float64(opts.Trials)
+	if len(makespans) > 0 {
+		sort.Float64s(makespans)
+		sort.Float64s(costs)
+		out.MakespanP50 = units.Seconds(stats.Quantile(makespans, 0.50))
+		out.MakespanP90 = units.Seconds(stats.Quantile(makespans, 0.90))
+		out.MakespanP99 = units.Seconds(stats.Quantile(makespans, 0.99))
+		out.CostP50 = units.USD(stats.Quantile(costs, 0.50))
+		out.CostP90 = units.USD(stats.Quantile(costs, 0.90))
+		out.CostP99 = units.USD(stats.Quantile(costs, 0.99))
+	}
+	return out, nil
+}

@@ -48,6 +48,12 @@ var ErrOverloaded = errors.New("serving: overloaded, retry later")
 // application; internal/api maps it to 404.
 var ErrUnknownApp = errors.New("serving: unknown app")
 
+// ErrInternal is returned when a compute callback panics: the panic is
+// recovered at the Frontdoor boundary so one bad request cannot take
+// down the process, counted in serving.panics, and surfaced as this
+// sentinel, which internal/api maps to 500.
+var ErrInternal = errors.New("serving: internal error")
+
 // Config tunes a Frontdoor. The zero value means "all defaults";
 // negative values disable the corresponding feature where noted.
 type Config struct {
@@ -102,12 +108,22 @@ func (c Config) withDefaults() Config {
 // share a cache entry exactly when all fields (plus the mounted
 // engine's billing policy) are equal.
 type Query struct {
-	Kind          string // "analyze", "mincost", "mintime", "maxaccuracy", ...
+	Kind          string // "analyze", "mincost", "mintime", "maxaccuracy", "risk", ...
 	App           string
 	N, A          float64
 	DeadlineHours float64
 	BudgetUSD     float64
 	MaxFrontier   int
+
+	// Risk-query parameters (Kind "risk"); zero for the analytic kinds,
+	// so legacy keys are unaffected in practice but every field still
+	// participates in the key.
+	HazardPerHour float64
+	Trials        int
+	Seed          uint64
+	// Config pins an explicit configuration tuple (canonical "n1,...,n9"
+	// form); empty means "solve for the cheapest deadline-feasible one".
+	Config string
 }
 
 // CacheStatus reports how a Do call was served.
@@ -148,9 +164,9 @@ type Frontdoor struct {
 	queue chan struct{}
 	slots chan struct{}
 
-	requests, errors, rejected, coalesced *telemetry.Counter
-	inflight, queued                      *telemetry.Gauge
-	computeMS                             *telemetry.Histogram
+	requests, errors, rejected, coalesced, panics *telemetry.Counter
+	inflight, queued                              *telemetry.Gauge
+	computeMS                                     *telemetry.Histogram
 }
 
 // NewFrontdoor validates the configuration and wraps the given engines.
@@ -169,6 +185,7 @@ func NewFrontdoor(engines map[string]*core.Engine, cfg Config) (*Frontdoor, erro
 		errors:    cfg.Metrics.Counter("serving.errors"),
 		rejected:  cfg.Metrics.Counter("serving.overload.rejected"),
 		coalesced: cfg.Metrics.Counter("serving.coalesce.followers"),
+		panics:    cfg.Metrics.Counter("serving.panics"),
 		inflight:  cfg.Metrics.Gauge("serving.inflight"),
 		queued:    cfg.Metrics.Gauge("serving.queued"),
 		computeMS: cfg.Metrics.Histogram("serving.compute_ms"),
@@ -208,12 +225,18 @@ func (f *Frontdoor) key(q Query, eng *core.Engine) string {
 	b.WriteString(q.Kind)
 	b.WriteByte('|')
 	b.WriteString(q.App)
-	for _, v := range [4]float64{q.N, q.A, q.DeadlineHours, q.BudgetUSD} {
+	for _, v := range [5]float64{q.N, q.A, q.DeadlineHours, q.BudgetUSD, q.HazardPerHour} {
 		b.WriteByte('|')
 		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
 	}
 	b.WriteByte('|')
 	b.WriteString(strconv.Itoa(q.MaxFrontier))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(q.Trials))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(q.Seed, 10))
+	b.WriteByte('|')
+	b.WriteString(q.Config)
 	b.WriteByte('|')
 	b.WriteString(strconv.Itoa(int(eng.Billing())))
 	return b.String()
@@ -296,6 +319,21 @@ func (f *Frontdoor) admitAndCompute(ctx context.Context, eng *core.Engine, compu
 		f.computeMS.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 		f.inflight.Add(-1)
 		<-f.slots
+	}()
+	return f.guarded(eng, compute)
+}
+
+// guarded runs the compute callback with panic containment: a panicking
+// request releases its admission tokens normally (the deferred
+// bookkeeping above runs after recovery) and fails with ErrInternal
+// instead of crashing the server.
+func (f *Frontdoor) guarded(eng *core.Engine, compute func(*core.Engine) ([]byte, error)) (val []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			f.panics.Inc()
+			val = nil
+			err = fmt.Errorf("%w: compute panic: %v", ErrInternal, r)
+		}
 	}()
 	return compute(eng)
 }

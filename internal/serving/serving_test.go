@@ -403,3 +403,66 @@ func TestParallelMixedLoad(t *testing.T) {
 		t.Fatalf("engine ran %d times for 400 requests over 5 keys", engineRuns.Load())
 	}
 }
+
+func TestComputePanicRecovered(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	f := newTestFrontdoor(t, Config{Metrics: reg})
+	q := Query{Kind: "mincost", App: "galaxy", N: 1, A: 1}
+	_, _, err := f.Do(context.Background(), q, func(*core.Engine) ([]byte, error) {
+		panic("boom")
+	})
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("panic surfaced as %v, want ErrInternal", err)
+	}
+	if got := reg.Counter("serving.panics").Value(); got != 1 {
+		t.Fatalf("serving.panics = %d, want 1", got)
+	}
+	// The panicking request must have released its admission tokens and
+	// not poisoned the cache: the same query computes again and succeeds.
+	val, status, err := f.Do(context.Background(), q, func(*core.Engine) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil || string(val) != "ok" || status != StatusMiss {
+		t.Fatalf("frontdoor wedged after panic: val %q status %v err %v", val, status, err)
+	}
+}
+
+func TestRiskFieldsPartitionCacheKeys(t *testing.T) {
+	f := newTestFrontdoor(t, Config{})
+	base := Query{Kind: "risk", App: "galaxy", N: 1, A: 1, DeadlineHours: 2,
+		HazardPerHour: 0.5, Trials: 100, Seed: 7, Config: "1,0,0,0,0,0,0,0,0"}
+	variants := []Query{base}
+	v := base
+	v.HazardPerHour = 0.6
+	variants = append(variants, v)
+	v = base
+	v.Trials = 200
+	variants = append(variants, v)
+	v = base
+	v.Seed = 8
+	variants = append(variants, v)
+	v = base
+	v.Config = "2,0,0,0,0,0,0,0,0"
+	variants = append(variants, v)
+
+	for i, q := range variants {
+		want := []byte(fmt.Sprintf("resp-%d", i))
+		val, status, err := f.Do(context.Background(), q, func(*core.Engine) ([]byte, error) {
+			return want, nil
+		})
+		if err != nil || status != StatusMiss {
+			t.Fatalf("variant %d: status %v err %v (risk fields collided in the key)", i, status, err)
+		}
+		if !bytes.Equal(val, want) {
+			t.Fatalf("variant %d: val %q", i, val)
+		}
+	}
+	// And the base query is now a pure cache hit.
+	val, status, err := f.Do(context.Background(), base, func(*core.Engine) ([]byte, error) {
+		t.Fatal("cache miss on repeated risk query")
+		return nil, nil
+	})
+	if err != nil || status != StatusHit || string(val) != "resp-0" {
+		t.Fatalf("repeat risk query: val %q status %v err %v", val, status, err)
+	}
+}

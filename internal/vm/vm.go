@@ -45,6 +45,14 @@ func Provision(id int, typ ec2.InstanceType, app workload.App, seed uint64, boot
 	}
 }
 
+// Replacement provisions a substitute for a failed instance: the same
+// type and boot latency, but a fresh id and therefore fresh jitter —
+// the replacement lands on a different host. Used by the simulator's
+// respawn-on-failure recovery policy.
+func Replacement(id int, failed Instance, app workload.App, seed uint64) Instance {
+	return Provision(id, failed.Type, app, seed, failed.BootTime)
+}
+
 // PerVCPURate reports the effective per-vCPU rate.
 func (in Instance) PerVCPURate() units.Rate { return in.perVCPU }
 

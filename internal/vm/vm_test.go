@@ -90,3 +90,24 @@ func TestRateAggregatesVCPUs(t *testing.T) {
 		t.Fatalf("Rate = %v, want %v", in.Rate(), want)
 	}
 }
+
+func TestReplacementFreshJitterSameType(t *testing.T) {
+	typ, _ := ec2.Oregon().Lookup("c4.xlarge")
+	orig := Provision(0, typ, galaxy.App{}, 7, 45)
+	repl := Replacement(10, orig, galaxy.App{}, 7)
+	if repl.ID != 10 {
+		t.Fatalf("replacement id %d, want 10", repl.ID)
+	}
+	if repl.Type.Name != orig.Type.Name || repl.BootTime != orig.BootTime {
+		t.Fatal("replacement changed type or boot latency")
+	}
+	// Fresh id → fresh host → independent jitter draw.
+	if repl.Jitter() == orig.Jitter() {
+		t.Fatal("replacement inherited the failed host's jitter")
+	}
+	// Deterministic for (id, seed).
+	again := Replacement(10, orig, galaxy.App{}, 7)
+	if again.PerVCPURate() != repl.PerVCPURate() {
+		t.Fatal("replacement not deterministic")
+	}
+}

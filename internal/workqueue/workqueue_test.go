@@ -194,3 +194,67 @@ func ExampleMaster() {
 	fmt.Println(stats.Succeeded, results[0].Value, results[1].Value, results[2].Value)
 	// Output: 3 10 20 30
 }
+
+func TestRequeueConservationUnderLoad(t *testing.T) {
+	// Every task fails its first attempt (a stand-in for losing the
+	// worker mid-task) and is requeued exactly once: the run completes
+	// every task, counts one retry per task, and never double-completes.
+	m, _ := New(4)
+	if err := m.SetMaxRetries(2); err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var executions atomic.Int32
+	firstTry := make([]atomic.Bool, n)
+	for i := 0; i < n; i++ {
+		i := i
+		m.Submit(TaskFunc(func(context.Context) (interface{}, error) {
+			executions.Add(1)
+			if firstTry[i].CompareAndSwap(false, true) {
+				return nil, errors.New("worker lost")
+			}
+			return i, nil
+		}))
+	}
+	results, stats, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Succeeded != n || stats.Failed != 0 {
+		t.Fatalf("stats = %+v, want %d successes", stats, n)
+	}
+	if stats.Retries != n {
+		t.Fatalf("retries = %d, want %d (one requeue per task)", stats.Retries, n)
+	}
+	if got := executions.Load(); got != 2*n {
+		t.Fatalf("executions = %d, want %d (exactly one requeue each)", got, 2*n)
+	}
+	for i, r := range results {
+		if r.Err != nil || r.Attempts != 2 || r.Value != i {
+			t.Fatalf("task %d = %+v, want value %d on attempt 2", i, r, i)
+		}
+	}
+}
+
+func TestZeroRetriesFailsFast(t *testing.T) {
+	m, _ := New(2)
+	if err := m.SetMaxRetries(0); err != nil {
+		t.Fatal(err)
+	}
+	var executions atomic.Int32
+	m.Submit(TaskFunc(func(context.Context) (interface{}, error) {
+		executions.Add(1)
+		return nil, errors.New("broken")
+	}))
+	results, stats, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executions.Load() != 1 || results[0].Attempts != 1 {
+		t.Fatalf("zero-retry task ran %d times (attempts %d), want once",
+			executions.Load(), results[0].Attempts)
+	}
+	if stats.Failed != 1 || stats.Retries != 0 {
+		t.Fatalf("stats = %+v, want one fast failure", stats)
+	}
+}
