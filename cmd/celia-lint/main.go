@@ -1,0 +1,82 @@
+// celia-lint runs the repository's static-analysis suite: determinism,
+// float-safety, and serving invariants that ordinary review misses and
+// go vet does not know about. It is part of the tier-1 verify line:
+//
+//	go run ./cmd/celia-lint ./...
+//
+// With no arguments (or "./...") it loads and checks every package in
+// the module, skipping testdata trees and _test.go files. Explicit
+// directory arguments are linted too — that is how the self-test
+// fixtures under internal/analysis/testdata are exercised; a fixture
+// file may carry a "//celia-lint:as <import-path>" comment to take on
+// the package identity a path-scoped rule expects.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. Each
+// finding prints as "file:line:col: [rule] message". Findings are
+// suppressed by "//lint:allow <rule> <reason>" on the same or the
+// preceding line; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the rule set and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: celia-lint [-list] [./... | dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "celia-lint:", err)
+		os.Exit(2)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var targets []*analysis.CheckedPackage
+	for _, arg := range args {
+		switch arg {
+		case "./...", "...", ".":
+			pkgs, err := loader.LoadModule()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "celia-lint:", err)
+				os.Exit(2)
+			}
+			targets = append(targets, pkgs...)
+		default:
+			pkg, err := loader.LoadDir(arg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "celia-lint:", err)
+				os.Exit(2)
+			}
+			targets = append(targets, pkg)
+		}
+	}
+
+	findings := analysis.Run(suite, targets)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "celia-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -108,6 +108,7 @@ func scalingTable(title string, res sweep.ScalingResult) *report.Table {
 			} else {
 				cells = append(cells, "-")
 			}
+			//lint:allow floateq d iterates the literal deadline table; 24 is bit-exact
 			if d == 24 && pt.Feasible {
 				cfg24 = pt.Config
 			}

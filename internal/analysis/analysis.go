@@ -1,0 +1,251 @@
+// Package analysis is celia-lint: a zero-dependency static-analysis
+// suite that machine-checks the repository's determinism, float-safety,
+// and serving invariants. CELIA's value rests on bit-for-bit replayable
+// model output — the Eq. 2–6 cost/time census, the seeded Monte-Carlo
+// deadline-risk estimator, and the byte-exact serving cache — and those
+// guarantees die silently the first time someone reads the wall clock
+// inside a simulation path or compares floats with ==. Reviewer
+// vigilance does not scale; these analyzers do.
+//
+// The suite is built purely on go/parser, go/ast, go/token, and
+// go/types (the module has a hard zero-external-dependency rule, so
+// golang.org/x/tools is not available). Each analyzer reports findings
+// as "file:line:col: [rule] message"; cmd/celia-lint exits non-zero on
+// any finding.
+//
+// # Escape hatch
+//
+// A finding can be suppressed with a comment on the same line or the
+// line directly above:
+//
+//	//lint:allow <rule> <reason>
+//
+// The reason is mandatory: an allow without one is itself a finding.
+// Unknown rule names in allow comments are findings too, so typos
+// cannot silently disable a rule.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Finding is one rule violation at one source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// An Analyzer is one named rule over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass hands one type-checked package to one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Path  string // effective import path (see CheckedPackage.Path)
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	rule     string
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos under the running analyzer's rule.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:  p.Fset.Position(pos),
+		Rule: p.rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Suite returns the full rule set in stable order.
+func Suite() []*Analyzer {
+	return []*Analyzer{Nodeterm, Floateq, Metricname, Httpenvelope, Nakedgo}
+}
+
+// Run applies the analyzers to every package and returns the findings
+// that survive //lint:allow suppression, sorted by position then rule.
+func Run(analyzers []*Analyzer, pkgs []*CheckedPackage) []Finding {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Finding
+	for _, cp := range pkgs {
+		allows, allowFindings := collectAllows(cp, known)
+		all = append(all, allowFindings...)
+		var raw []Finding
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:  cp.Fset,
+				Path:  cp.Path,
+				Files: cp.Files,
+				Pkg:   cp.Pkg,
+				Info:  cp.Info,
+
+				rule:     a.Name,
+				findings: &raw,
+			}
+			a.Run(pass)
+		}
+		for _, f := range raw {
+			if allows[allowKey{file: f.Pos.Filename, line: f.Pos.Line, rule: f.Rule}] {
+				continue
+			}
+			all = append(all, f)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return all
+}
+
+// allowKey identifies one suppressed (file, line, rule) triple.
+type allowKey struct {
+	file string
+	line int
+	rule string
+}
+
+// collectAllows scans a package's comments for //lint:allow directives.
+// Each well-formed directive suppresses its rule on the comment's line
+// and the line below (so it can trail the offending expression or sit
+// on its own line above it). Malformed directives are findings.
+func collectAllows(cp *CheckedPackage, known map[string]bool) (map[allowKey]bool, []Finding) {
+	allows := map[allowKey]bool{}
+	var findings []Finding
+	report := func(pos token.Pos, msg string) {
+		findings = append(findings, Finding{Pos: cp.Fset.Position(pos), Rule: "lintallow", Msg: msg})
+	}
+	for _, file := range cp.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "lint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "lint:allow needs a rule and a reason: //lint:allow <rule> <reason>")
+					continue
+				}
+				rule := fields[0]
+				if !known[rule] {
+					report(c.Pos(), fmt.Sprintf("lint:allow names unknown rule %q", rule))
+					continue
+				}
+				if len(fields) == 1 {
+					report(c.Pos(), fmt.Sprintf("lint:allow %s needs a reason: //lint:allow %s <why this is safe>", rule, rule))
+					continue
+				}
+				pos := cp.Fset.Position(c.Pos())
+				allows[allowKey{file: pos.Filename, line: pos.Line, rule: rule}] = true
+				allows[allowKey{file: pos.Filename, line: pos.Line + 1, rule: rule}] = true
+			}
+		}
+	}
+	return allows, findings
+}
+
+// pathWithin reports whether an import path falls inside the package
+// tree named by a module-relative prefix such as "internal/des":
+// true for the package itself and any subpackage, with matches aligned
+// on path-segment boundaries.
+func pathWithin(path, prefix string) bool {
+	i := strings.Index(path, prefix)
+	if i < 0 {
+		return false
+	}
+	if i > 0 && path[i-1] != '/' {
+		return false
+	}
+	rest := path[i+len(prefix):]
+	return rest == "" || rest[0] == '/'
+}
+
+// pkgSelector resolves X in X.Sel to an imported package, returning its
+// import path when X names a package.
+func pkgSelector(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// isFloat reports whether a type's underlying kind is float32/float64
+// (including named types such as units.Seconds and untyped float
+// constants).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// enclosingFuncName names the innermost function declaration containing
+// pos, as "Name" or "Recv.Name" for methods; "" at package scope.
+func enclosingFuncName(files []*ast.File, pos token.Pos) string {
+	for _, file := range files {
+		if pos < file.Pos() || pos > file.End() {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || pos < fd.Pos() || pos > fd.End() {
+				continue
+			}
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				return recvTypeName(fd.Recv.List[0].Type) + "." + fd.Name.Name
+			}
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+func recvTypeName(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(e.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(e.X)
+	}
+	return ""
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one testdata package through a shared loader
+// (the module packages it imports are checked once and cached).
+func loadFixture(t *testing.T, l *Loader, dir string) *CheckedPackage {
+	t.Helper()
+	cp, err := l.LoadDir("testdata/" + dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	return cp
+}
+
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return l
+}
+
+// TestAnalyzersFireOnBadFixtures asserts each rule reports at least the
+// expected number of findings on its known-bad fixture, and that every
+// finding carries that rule's name.
+func TestAnalyzersFireOnBadFixtures(t *testing.T) {
+	l := newTestLoader(t)
+	cases := []struct {
+		rule    string
+		dir     string
+		minHits int
+	}{
+		{"nodeterm", "nodeterm_bad", 4},
+		{"floateq", "floateq_bad", 4},
+		{"metricname", "metricname_bad", 5},
+		{"httpenvelope", "httpenvelope_bad", 2},
+		{"nakedgo", "nakedgo_bad", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			cp := loadFixture(t, l, tc.dir)
+			findings := Run(Suite(), []*CheckedPackage{cp})
+			if len(findings) < tc.minHits {
+				t.Fatalf("want >= %d findings, got %d: %v", tc.minHits, len(findings), findings)
+			}
+			for _, f := range findings {
+				if f.Rule != tc.rule {
+					t.Errorf("unexpected rule %q in finding %s (fixture targets %q)", f.Rule, f.String(), tc.rule)
+				}
+			}
+		})
+	}
+}
+
+// TestAnalyzersQuietOnGoodFixtures asserts the full suite stays silent
+// on each known-good fixture.
+func TestAnalyzersQuietOnGoodFixtures(t *testing.T) {
+	l := newTestLoader(t)
+	dirs := []string{
+		"nodeterm_good",
+		"floateq_good",
+		"metricname_good",
+		"httpenvelope_good",
+		"nakedgo_good",
+	}
+	for _, dir := range dirs {
+		t.Run(dir, func(t *testing.T) {
+			cp := loadFixture(t, l, dir)
+			if findings := Run(Suite(), []*CheckedPackage{cp}); len(findings) != 0 {
+				t.Fatalf("want 0 findings, got %d: %v", len(findings), findings)
+			}
+		})
+	}
+}
+
+// TestMalformedAllowsAreFindings asserts that a reason-less //lint:allow
+// and one naming an unknown rule are themselves reported, and that a
+// malformed directive suppresses nothing: the floateq findings it tried
+// to hide must surface alongside the lintallow findings.
+func TestMalformedAllowsAreFindings(t *testing.T) {
+	l := newTestLoader(t)
+	cp := loadFixture(t, l, "lintallow_bad")
+	findings := Run(Suite(), []*CheckedPackage{cp})
+	byRule := map[string]int{}
+	for _, f := range findings {
+		byRule[f.Rule]++
+	}
+	if byRule["lintallow"] != 2 {
+		t.Errorf("want 2 lintallow findings (missing reason, unknown rule), got %d: %v", byRule["lintallow"], findings)
+	}
+	if byRule["floateq"] != 2 {
+		t.Errorf("malformed allows must not suppress: want 2 floateq findings, got %d: %v", byRule["floateq"], findings)
+	}
+	var sawReason, sawUnknown bool
+	for _, f := range findings {
+		if f.Rule != "lintallow" {
+			continue
+		}
+		if strings.Contains(f.Msg, "needs a reason") {
+			sawReason = true
+		}
+		if strings.Contains(f.Msg, "unknown rule") {
+			sawUnknown = true
+		}
+	}
+	if !sawReason || !sawUnknown {
+		t.Errorf("want one missing-reason and one unknown-rule message, got %v", findings)
+	}
+}
+
+// TestModuleIsClean is the dogfood gate: the repo's own packages must
+// pass the full suite. It mirrors what `go run ./cmd/celia-lint ./...`
+// enforces in CI, so a regression fails tier-1 tests too.
+func TestModuleIsClean(t *testing.T) {
+	l := newTestLoader(t)
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if findings := Run(Suite(), pkgs); len(findings) != 0 {
+		for _, f := range findings {
+			t.Errorf("%s", f.String())
+		}
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	cp := &CheckedPackage{}
+	_ = cp // silence unused in case of refactors; Finding formatting is position-only
+	f := Finding{Rule: "nodeterm", Msg: "call to time.Now"}
+	f.Pos.Filename = "x.go"
+	f.Pos.Line = 12
+	f.Pos.Column = 3
+	if got, want := f.String(), "x.go:12:3: [nodeterm] call to time.Now"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestPathWithin(t *testing.T) {
+	cases := []struct {
+		path, prefix string
+		want         bool
+	}{
+		{"repro/internal/des", "internal/des", true},
+		{"repro/internal/des/lintfixture", "internal/des", true},
+		{"repro/internal/design", "internal/des", false},
+		{"repro/internal/faults/risk", "internal/faults", true},
+		{"repro/cmd/celia-lint", "internal/des", false},
+		{"internal/des", "internal/des", true},
+	}
+	for _, tc := range cases {
+		if got := pathWithin(tc.path, tc.prefix); got != tc.want {
+			t.Errorf("pathWithin(%q, %q) = %v, want %v", tc.path, tc.prefix, got, tc.want)
+		}
+	}
+}

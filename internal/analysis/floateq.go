@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// floateqAllowFuncs names the approved epsilon helpers: the only
+// functions allowed to compare floats with == / !=, because exact
+// comparison (infinities, fast paths) is part of their contract.
+// Entries are (module-relative package prefix, "FuncName" or
+// "Recv.FuncName").
+var floateqAllowFuncs = []struct{ prefix, fn string }{
+	{"internal/stats", "ApproxEqual"},
+}
+
+// Floateq forbids == and != on float operands (including named float
+// types like units.Seconds, resolved through go/types) and switches on
+// float tags. Exact float equality is how cross-run drift sneaks past
+// review: two mathematically equal computations disagree in the last
+// ulp and a cache key, a frontier comparison, or a feasibility test
+// silently flips. Comparisons against the exact constant 0 are allowed
+// — zero is the repo-wide "unset/unconstrained" sentinel and is
+// exactly representable — as are NaN checks via math.IsNaN (x != x is
+// flagged with a pointer there).
+//
+// Comparators are exempt: inside a Less method or a func literal
+// passed to sort.Slice / sort.SliceStable / sort.Search, the exact
+// `if a != b { return a < b }` tie-break idiom is required — an
+// epsilon comparison there breaks strict weak ordering (transitivity),
+// which corrupts the sort instead of stabilizing it.
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= and switch on float operands outside the epsilon-helper allowlist",
+	Run:  runFloateq,
+}
+
+func runFloateq(pass *Pass) {
+	exempt := comparatorRanges(pass.Files)
+	inComparator := func(pos token.Pos) bool {
+		for _, r := range exempt {
+			if pos >= r.from && pos <= r.to {
+				return true
+			}
+		}
+		return false
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				xt := pass.Info.Types[n.X]
+				yt := pass.Info.Types[n.Y]
+				if !isFloat(xt.Type) && !isFloat(yt.Type) {
+					return true
+				}
+				if isExactZero(xt.Value) || isExactZero(yt.Value) {
+					return true
+				}
+				if floateqAllowed(pass, n.Pos()) || inComparator(n.Pos()) {
+					return true
+				}
+				if sameIdent(n.X, n.Y) {
+					pass.Reportf(n.Pos(), "x %s x on floats is a NaN probe; use math.IsNaN", n.Op)
+					return true
+				}
+				pass.Reportf(n.Pos(), "%s on float operands; compare within an epsilon (stats.ApproxEqual) or use //lint:allow floateq <reason> if exact equality is the point", n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				if tv, ok := pass.Info.Types[n.Tag]; ok && isFloat(tv.Type) {
+					if !floateqAllowed(pass, n.Pos()) {
+						pass.Reportf(n.Pos(), "switch on a float tag compares with ==; use if/else with epsilon comparisons")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// floateqAllowed reports whether pos sits inside an approved epsilon
+// helper.
+func floateqAllowed(pass *Pass, pos token.Pos) bool {
+	for _, e := range floateqAllowFuncs {
+		if pathWithin(pass.Path, e.prefix) && enclosingFuncName(pass.Files, pos) == e.fn {
+			return true
+		}
+	}
+	return false
+}
+
+// isExactZero reports whether a compile-time constant is exactly zero.
+func isExactZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	}
+	return false
+}
+
+// sameIdent reports whether both operands are the same plain
+// identifier (the classic NaN self-comparison).
+func sameIdent(x, y ast.Expr) bool {
+	xi, ok1 := x.(*ast.Ident)
+	yi, ok2 := y.(*ast.Ident)
+	return ok1 && ok2 && xi.Name == yi.Name
+}
+
+// posRange is a half-open source span.
+type posRange struct{ from, to token.Pos }
+
+// comparatorRanges collects the body spans of comparison functions:
+// Less methods (sort.Interface, heap.Interface) and func literals
+// handed to sort.Slice, sort.SliceStable, or sort.Search.
+func comparatorRanges(files []*ast.File) []posRange {
+	var out []posRange
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv != nil && fd.Name.Name == "Less" && fd.Body != nil {
+				out = append(out, posRange{fd.Body.Pos(), fd.Body.End()})
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "sort" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Slice", "SliceStable", "Search":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					out = append(out, posRange{lit.Body.Pos(), lit.Body.End()})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

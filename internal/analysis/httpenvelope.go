@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+)
+
+// envelopePrefixes scopes the rule to the HTTP serving path.
+var envelopePrefixes = []string{"internal/api", "internal/serving"}
+
+// Httpenvelope enforces the API contract that every error response is
+// the JSON envelope {"error": "..."}: handlers must not call
+// http.Error (plain-text body, wrong Content-Type) or write bare
+// non-2xx status codes with WriteHeader. Allowed WriteHeader sites:
+// the envelope helper itself (a function named writeJSON), status
+// forwarders (methods named WriteHeader on ResponseWriter wrappers),
+// and constant 2xx success statuses.
+var Httpenvelope = &Analyzer{
+	Name: "httpenvelope",
+	Doc: "internal/api and internal/serving must answer errors through the " +
+		"JSON envelope helpers, never http.Error or bare WriteHeader",
+	Run: runHttpenvelope,
+}
+
+func runHttpenvelope(pass *Pass) {
+	applies := false
+	for _, p := range envelopePrefixes {
+		if pathWithin(pass.Path, p) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkg, ok := pkgSelector(pass.Info, sel); ok && pkg == "net/http" && sel.Sel.Name == "Error" {
+				pass.Reportf(call.Pos(), "http.Error writes a text/plain body; use the JSON error-envelope helper (writeJSON + errorBody)")
+				return true
+			}
+			if sel.Sel.Name != "WriteHeader" || len(call.Args) != 1 {
+				return true
+			}
+			if _, isPkg := pkgSelector(pass.Info, sel); isPkg {
+				return true // some package-level WriteHeader, not a ResponseWriter
+			}
+			encl := enclosingFuncName(pass.Files, call.Pos())
+			if encl == "writeJSON" || encl == "WriteHeader" || hasSuffixDotWriteHeader(encl) {
+				return true
+			}
+			if v := pass.Info.Types[call.Args[0]].Value; v != nil && v.Kind() == constant.Int {
+				if code, ok := constant.Int64Val(v); ok && code >= 200 && code < 300 {
+					return true // explicit success status ahead of a body write
+				}
+			}
+			pass.Reportf(call.Pos(), "bare WriteHeader outside the envelope helpers; error statuses must go through writeJSON so the body is the JSON envelope")
+			return true
+		})
+	}
+}
+
+func hasSuffixDotWriteHeader(name string) bool {
+	const suffix = ".WriteHeader"
+	return len(name) > len(suffix) && name[len(name)-len(suffix):] == suffix
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// metricNameRE: lowercase dotted names, at least two segments
+// ("serving.cache.hits", "http.status.4xx"). The first segment starts
+// with a letter; later segments may start with a digit.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
+
+// Metricname checks every telemetry Registry.Counter / Gauge /
+// Histogram call site: the name must be a compile-time lowercase
+// dotted string constant — fmt.Sprintf or concatenated names are
+// cardinality bombs waiting for a request-derived value — and each
+// name may be registered at exactly one call site per package, so
+// grepping a metric name lands on its single owner.
+var Metricname = &Analyzer{
+	Name: "metricname",
+	Doc: "telemetry metric names must be lowercase dotted string constants, " +
+		"registered at one call site per package",
+	Run: runMetricname,
+}
+
+func runMetricname(pass *Pass) {
+	registered := map[string]token.Position{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !isRegistryMethod(pass.Info, sel) {
+				return true
+			}
+			arg := call.Args[0]
+			tv := pass.Info.Types[arg]
+			if tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(), "telemetry.%s name must be a compile-time string constant, not a dynamic expression (unbounded metric cardinality); register one literal per variant", sel.Sel.Name)
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !metricNameRE.MatchString(name) {
+				pass.Reportf(arg.Pos(), "telemetry metric name %q must be lowercase dotted (e.g. \"serving.cache.hits\")", name)
+				return true
+			}
+			if first, dup := registered[name]; dup {
+				pass.Reportf(arg.Pos(), "metric %q already registered in this package at %s:%d; share that variable instead", name, first.Filename, first.Line)
+				return true
+			}
+			registered[name] = pass.Fset.Position(arg.Pos())
+			return true
+		})
+	}
+}
+
+// isRegistryMethod reports whether sel is a Counter/Gauge/Histogram
+// method on the telemetry Registry.
+func isRegistryMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	obj := s.Obj()
+	return obj.Pkg() != nil && pathWithin(obj.Pkg().Path(), "internal/telemetry")
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// nakedgoPrefixes scopes the rule to the request-serving path, where a
+// goroutine that outlives its request leaks under load and dies
+// silently on shutdown.
+var nakedgoPrefixes = []string{"internal/api", "internal/serving"}
+
+// Nakedgo forbids untracked `go` statements in the serving path: every
+// goroutine must be visibly tied to a sync.WaitGroup (or the
+// internal/workqueue pool) in the enclosing function declaration, so
+// graceful drain can wait for it and tests can join it.
+var Nakedgo = &Analyzer{
+	Name: "nakedgo",
+	Doc: "no untracked go statements in internal/serving and internal/api: " +
+		"tie goroutines to a sync.WaitGroup or the worker pool",
+	Run: runNakedgo,
+}
+
+func runNakedgo(pass *Pass) {
+	applies := false
+	for _, p := range nakedgoPrefixes {
+		if pathWithin(pass.Path, p) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var gos []*ast.GoStmt
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					gos = append(gos, g)
+				}
+				return true
+			})
+			if len(gos) == 0 {
+				continue
+			}
+			if funcTracksGoroutines(pass, fd) {
+				continue
+			}
+			for _, g := range gos {
+				pass.Reportf(g.Pos(), "untracked goroutine in the serving path: tie it to a sync.WaitGroup (or the workqueue pool) visible in %s so drain can join it", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// funcTracksGoroutines reports whether the declaration mentions a
+// value whose type is sync.WaitGroup (possibly behind a pointer) or
+// comes from internal/workqueue.
+func funcTracksGoroutines(pass *Pass, fd *ast.FuncDecl) bool {
+	tracked := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if tracked {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			obj = pass.Info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return true
+		}
+		if isTrackingType(v.Type()) {
+			tracked = true
+		}
+		return true
+	})
+	return tracked
+}
+
+func isTrackingType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	if path == "sync" && obj.Name() == "WaitGroup" {
+		return true
+	}
+	return pathWithin(path, "internal/workqueue")
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detPrefixes names the deterministic package trees: everything the
+// simulator, the census, and the Monte-Carlo risk estimator execute
+// must be bit-for-bit replayable from a seed, so wall-clock reads and
+// math/rand have no business there. Matching is prefix-based on path
+// segments, so internal/faults covers internal/faults/risk.
+var detPrefixes = []string{
+	"internal/des",
+	"internal/cloudsim",
+	"internal/faults",
+	"internal/spot",
+	"internal/model",
+	"internal/pareto",
+	"internal/demand",
+	"internal/uncertainty",
+}
+
+// argless names the math/rand top-level functions that draw from the
+// shared global source — unseeded unless someone mutates process-wide
+// state, which is exactly the nondeterminism this rule exists to stop.
+var arglessRand = map[string]bool{
+	"Int": true, "Int31": true, "Int63": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Intn": true, "Int31n": true, "Int63n": true, "Perm": true, "Shuffle": true,
+	"N": true, "IntN": true, "Int32N": true, "Int64N": true, "Uint32N": true,
+	"Uint64N": true, "UintN": true, "Uint": true,
+}
+
+// Nodeterm forbids nondeterminism inside the deterministic packages:
+// time.Now, any use of math/rand (seeded or not — its generator is not
+// specified to be stable across Go releases, unlike the repo's
+// splitmix64 source in internal/detrand), and map iteration that feeds
+// ordered output (appends, channel sends, writes) without sorting.
+var Nodeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc: "forbid time.Now, math/rand, and order-sensitive map iteration " +
+		"in the deterministic simulation packages",
+	Run: runNodeterm,
+}
+
+func runNodeterm(pass *Pass) {
+	applies := false
+	for _, p := range detPrefixes {
+		if pathWithin(pass.Path, p) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				pkg, ok := pkgSelector(pass.Info, n)
+				if !ok {
+					return true
+				}
+				switch {
+				case pkg == "time" && n.Sel.Name == "Now":
+					pass.Reportf(n.Pos(), "time.Now reads the wall clock inside a deterministic package; inject the timestamp (or a clock) from the caller")
+				case pkg == "math/rand" || pkg == "math/rand/v2":
+					if arglessRand[n.Sel.Name] {
+						pass.Reportf(n.Pos(), "rand.%s draws from the unseeded global source; use a seeded repro/internal/detrand.Source threaded from the caller", n.Sel.Name)
+					} else {
+						pass.Reportf(n.Pos(), "%s is forbidden in deterministic packages (its stream is not stable across Go releases); use repro/internal/detrand", pkg)
+					}
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags range-over-map loops whose body produces ordered
+// output: appending to a slice, sending on a channel, or writing to a
+// stream. Commutative folds (sums, max, counting, map writes) are fine,
+// as is collecting keys that are sorted afterwards — suppress those
+// with //lint:allow nodeterm <reason>.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration: receive order depends on Go's randomized map order; iterate sorted keys instead")
+			return true
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "append" {
+					if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); isBuiltin {
+						pass.Reportf(n.Pos(), "append inside map iteration: element order depends on Go's randomized map order; iterate sorted keys instead")
+					}
+				}
+			case *ast.SelectorExpr:
+				if writerMethod[fun.Sel.Name] {
+					pass.Reportf(n.Pos(), "%s inside map iteration: output order depends on Go's randomized map order; iterate sorted keys instead", fun.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// writerMethod names stream-writing calls that make map order
+// observable.
+var writerMethod = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}

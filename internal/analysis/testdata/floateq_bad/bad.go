@@ -1,0 +1,24 @@
+// Package lintfixture is a known-bad fixture for the floateq rule:
+// every comparison below must be flagged.
+package lintfixture
+
+// Eq compares floats exactly.
+func Eq(a, b float64) bool { return a == b }
+
+// Neq compares named float types exactly.
+type seconds float64
+
+func Neq(a, b seconds) bool { return a != b }
+
+// NaNProbe is the self-comparison idiom; the rule points at math.IsNaN.
+func NaNProbe(x float64) bool { return x != x }
+
+// Classify switches on a float tag (implicit ==).
+func Classify(x float64) string {
+	switch x {
+	case 1.5:
+		return "one and a half"
+	default:
+		return "other"
+	}
+}

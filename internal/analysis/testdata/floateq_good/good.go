@@ -1,0 +1,44 @@
+// Package lintfixture is a known-good fixture for the floateq rule:
+// nothing here may be flagged.
+package lintfixture
+
+import (
+	"math"
+	"sort"
+)
+
+// Close compares within an epsilon.
+func Close(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+// Unset tests the zero sentinel: exact and exactly representable.
+func Unset(deadline float64) bool { return deadline == 0 }
+
+// Order tie-breaks exactly inside a comparator, where an epsilon
+// comparison would break strict weak ordering.
+func Order(xs []float64, idx []int) {
+	sort.Slice(idx, func(a, b int) bool {
+		if xs[idx[a]] != xs[idx[b]] {
+			return xs[idx[a]] > xs[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+}
+
+// pair sorts exactly inside a Less method for the same reason.
+type pair struct{ x, y float64 }
+type byXY []pair
+
+func (p byXY) Len() int      { return len(p) }
+func (p byXY) Swap(i, j int) { p[i], p[j] = p[j], p[i] }
+func (p byXY) Less(i, j int) bool {
+	if p[i].x != p[j].x {
+		return p[i].x < p[j].x
+	}
+	return p[i].y < p[j].y
+}
+
+// Allowed uses the escape hatch for an intentional exact comparison.
+func Allowed(a, b float64) bool {
+	//lint:allow floateq exact identity check on purpose: both values come from the same computation
+	return a == b
+}

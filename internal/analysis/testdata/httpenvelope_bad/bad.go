@@ -1,0 +1,17 @@
+// Package lintfixture is a known-bad fixture for the httpenvelope
+// rule: both error paths below must be flagged. The directive places
+// it inside the internal/api tree the rule guards.
+//
+//celialint:as repro/internal/api/lintfixture
+package lintfixture
+
+import "net/http"
+
+// Handle answers errors outside the JSON envelope.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("mode") == "text" {
+		http.Error(w, "boom", http.StatusInternalServerError) // text/plain body
+		return
+	}
+	w.WriteHeader(http.StatusBadRequest) // bare error status, no envelope
+}

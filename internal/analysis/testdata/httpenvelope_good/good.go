@@ -1,0 +1,44 @@
+// Package lintfixture is a known-good fixture for the httpenvelope
+// rule: nothing here may be flagged.
+//
+//celialint:as repro/internal/api/lintfixture
+package lintfixture
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSON is the envelope helper: the one place WriteHeader may set
+// an arbitrary status.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Handle answers errors through the envelope and success with an
+// explicit constant 2xx, both allowed.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("mode") == "fail" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad mode"})
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("{}"))
+}
+
+// statusWriter forwards WriteHeader, the allowed wrapper shape.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}

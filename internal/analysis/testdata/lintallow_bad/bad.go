@@ -1,0 +1,18 @@
+// Package lintfixture is a known-bad fixture for the escape hatch
+// itself: a reason-less allow and a typoed rule name are findings, so
+// suppressions cannot rot silently.
+package lintfixture
+
+// Eq hides behind a reason-less allow: the directive itself is flagged,
+// and because it is malformed it suppresses nothing, so the floateq
+// finding surfaces too.
+func Eq(a, b float64) bool {
+	//lint:allow floateq
+	return a == b
+}
+
+// Neq names a rule that does not exist.
+func Neq(a, b float64) bool {
+	//lint:allow floateqq typo in the rule name
+	return a != b
+}

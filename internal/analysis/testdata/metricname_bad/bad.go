@@ -1,0 +1,19 @@
+// Package lintfixture is a known-bad fixture for the metricname rule:
+// every registration below must be flagged.
+package lintfixture
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// Register exercises each failure mode.
+func Register(r *telemetry.Registry, route string, status int) {
+	r.Counter("http." + route + ".count")            // dynamic: concatenation
+	r.Counter(fmt.Sprintf("http.status.%d", status)) // dynamic: Sprintf cardinality bomb
+	r.Gauge("Serving.InFlight")                      // not lowercase
+	r.Histogram("latency")                           // single segment, no dots
+	r.Counter("dup.requests").Inc()                  // first registration: fine on its own
+	r.Counter("dup.requests").Add(2)                 // duplicate call site for the same name
+}

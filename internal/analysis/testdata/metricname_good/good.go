@@ -1,0 +1,25 @@
+// Package lintfixture is a known-good fixture for the metricname rule:
+// nothing here may be flagged.
+package lintfixture
+
+import "repro/internal/telemetry"
+
+// fixtureHits is a named constant: still compile-time, still fine.
+const fixtureHits = "fixture.cache.hits"
+
+// Metrics registers each name exactly once, as lowercase dotted
+// literals.
+type Metrics struct {
+	Hits     *telemetry.Counter
+	InFlight *telemetry.Gauge
+	Latency  *telemetry.Histogram
+}
+
+// NewMetrics wires the fixture's metric namespace.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Hits:     r.Counter(fixtureHits),
+		InFlight: r.Gauge("fixture.inflight"),
+		Latency:  r.Histogram("fixture.latency.ms"),
+	}
+}

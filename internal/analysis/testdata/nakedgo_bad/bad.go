@@ -1,0 +1,12 @@
+// Package lintfixture is a known-bad fixture for the nakedgo rule: the
+// goroutine below is untracked and must be flagged. The directive
+// places it inside the internal/serving tree the rule guards.
+//
+//celialint:as repro/internal/serving/lintfixture
+package lintfixture
+
+// Fire spawns a goroutine nothing can join: graceful drain cannot wait
+// for it and tests cannot synchronize with it.
+func Fire(work func()) {
+	go work()
+}

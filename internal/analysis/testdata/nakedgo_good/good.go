@@ -1,0 +1,21 @@
+// Package lintfixture is a known-good fixture for the nakedgo rule:
+// nothing here may be flagged.
+//
+//celialint:as repro/internal/serving/lintfixture
+package lintfixture
+
+import "sync"
+
+// FanOut tracks every goroutine with a WaitGroup visible in the
+// enclosing function.
+func FanOut(work []func()) {
+	var wg sync.WaitGroup
+	for _, w := range work {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(w)
+	}
+	wg.Wait()
+}

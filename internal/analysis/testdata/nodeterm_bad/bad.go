@@ -1,0 +1,31 @@
+// Package lintfixture is a known-bad fixture for the nodeterm rule:
+// every construct below must be flagged. The directive makes the
+// package count as part of the deterministic internal/des tree.
+//
+//celialint:as repro/internal/des/lintfixture
+package lintfixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock inside a deterministic package.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Draw uses the unseeded global math/rand source.
+func Draw() float64 { return rand.Float64() }
+
+// Seeded is banned too: math/rand's stream is not pinned by the Go 1
+// compatibility promise, so replays can drift across releases.
+func Seeded(seed int64) float64 { return rand.New(rand.NewSource(seed)).Float64() }
+
+// Keys feeds Go's randomized map iteration order straight into a
+// slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+// Package lintfixture is a known-good fixture for the nodeterm rule:
+// nothing here may be flagged.
+//
+//celialint:as repro/internal/des/lintfixture
+package lintfixture
+
+import (
+	"sort"
+
+	"repro/internal/detrand"
+)
+
+// Draw threads the repository's seeded splitmix64 source.
+func Draw(seed uint64) float64 { return detrand.New(seed).Float64() }
+
+// Sum folds a map commutatively: iteration order cannot leak.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SortedKeys collects then sorts, with the sanctioned escape hatch on
+// the collection step.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		//lint:allow nodeterm keys are fully sorted below before anything observes their order
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Later derives timestamps from an injected clock value instead of the
+// wall clock.
+func Later(now int64, d int64) int64 { return now + d }

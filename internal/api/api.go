@@ -63,6 +63,13 @@ type Server struct {
 	mux  *http.ServeMux
 	apps map[string]workload.App // risk-query workloads, keyed like engines
 
+	// HTTP metrics, registered once in NewServer under literal names
+	// (celia-lint's metricname rule keeps dynamic names — unbounded
+	// cardinality — out of the registry). statusClass is indexed by
+	// status/100.
+	httpRequests *telemetry.Counter
+	statusClass  [6]*telemetry.Counter
+
 	// draining flips when the process starts shutting down: /readyz
 	// turns 503 so load balancers stop routing here while in-flight
 	// requests finish.
@@ -88,14 +95,22 @@ func NewServer(fd *serving.Frontdoor, opts ...ServerOption) (*Server, error) {
 	for _, o := range opts {
 		o(s)
 	}
+	s.httpRequests = s.reg.Counter("http.requests")
+	s.statusClass = [6]*telemetry.Counter{
+		1: s.reg.Counter("http.status.1xx"),
+		2: s.reg.Counter("http.status.2xx"),
+		3: s.reg.Counter("http.status.3xx"),
+		4: s.reg.Counter("http.status.4xx"),
+		5: s.reg.Counter("http.status.5xx"),
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
-	s.mux.HandleFunc("GET /v1/apps", s.instrument("apps", s.handleApps))
-	s.mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
-	s.mux.HandleFunc("POST /v1/mincost", s.instrument("mincost", s.handleMinCost))
-	s.mux.HandleFunc("POST /v1/mintime", s.instrument("mintime", s.handleMinTime))
-	s.mux.HandleFunc("POST /v1/maxaccuracy", s.instrument("maxaccuracy", s.handleMaxAccuracy))
-	s.mux.HandleFunc("POST /v1/risk", s.instrument("risk", s.handleRisk))
+	s.mux.HandleFunc("GET /v1/apps", s.instrument(s.reg.Histogram("http.apps.ms"), s.handleApps))
+	s.mux.HandleFunc("POST /v1/analyze", s.instrument(s.reg.Histogram("http.analyze.ms"), s.handleAnalyze))
+	s.mux.HandleFunc("POST /v1/mincost", s.instrument(s.reg.Histogram("http.mincost.ms"), s.handleMinCost))
+	s.mux.HandleFunc("POST /v1/mintime", s.instrument(s.reg.Histogram("http.mintime.ms"), s.handleMinTime))
+	s.mux.HandleFunc("POST /v1/maxaccuracy", s.instrument(s.reg.Histogram("http.maxaccuracy.ms"), s.handleMaxAccuracy))
+	s.mux.HandleFunc("POST /v1/risk", s.instrument(s.reg.Histogram("http.risk.ms"), s.handleRisk))
 	s.mux.Handle("GET /debug/metrics", s.reg.Handler())
 	return s, nil
 }
@@ -526,17 +541,19 @@ func (sw *statusWriter) WriteHeader(code int) {
 	sw.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with per-route latency histograms and
-// status-class counters (bounded cardinality: routes are static).
-func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
-	hist := s.reg.Histogram("http." + route + ".ms")
-	total := s.reg.Counter("http.requests")
+// instrument wraps a handler with its per-route latency histogram and
+// the shared status-class counters. Histograms are registered by the
+// caller under literal names so the metric namespace is closed at
+// compile time (no request-derived cardinality).
+func (s *Server) instrument(hist *telemetry.Histogram, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
-		total.Inc()
-		s.reg.Counter(fmt.Sprintf("http.status.%dxx", sw.status/100)).Inc()
+		s.httpRequests.Inc()
+		if c := sw.status / 100; c >= 1 && c < len(s.statusClass) {
+			s.statusClass[c].Inc()
+		}
 		hist.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	}
 }

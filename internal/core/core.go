@@ -311,6 +311,7 @@ func (e *Engine) MinCostExhaustive(p workload.Params, deadline units.Seconds) (m
 		}
 		C := e.billCost(T, cu)
 		b := &bests[worker]
+		//lint:allow floateq exact argmin tie: ulp-equal costs resolve lexicographically by tuple, deterministic either way
 		if C < b.cost || (C == b.cost && b.ok && lessTuple(t, b.t)) {
 			b.cost, b.t, b.ok = C, t, true
 		}
@@ -320,6 +321,7 @@ func (e *Engine) MinCostExhaustive(p workload.Params, deadline units.Seconds) (m
 		if !b.ok {
 			continue
 		}
+		//lint:allow floateq exact argmin tie: ulp-equal costs resolve lexicographically by tuple, deterministic either way
 		if b.cost < out.cost || (b.cost == out.cost && out.ok && lessTuple(b.t, out.t)) {
 			out = b
 		}
@@ -421,6 +423,7 @@ func (e *Engine) decomposedSearch(d units.Instructions, cons Constraints, obj ob
 		if obj == objectiveTime {
 			v = T
 		}
+		//lint:allow floateq exact argmin tie: ulp-equal costs resolve lexicographically by tuple, deterministic either way
 		if v < bestVal || (v == bestVal && found && lessTuple(mk(), bestTuple)) {
 			bestVal = v
 			bestTuple = mk()
@@ -527,12 +530,14 @@ func (e *Engine) scanSearch(d units.Instructions, cons Constraints, obj objectiv
 			v = T
 		}
 		b := &bests[worker]
+		//lint:allow floateq exact argmin tie: ulp-equal costs resolve lexicographically by tuple, deterministic either way
 		if v < b.val || (v == b.val && b.ok && lessTuple(t, b.t)) {
 			b.val, b.t, b.ok = v, t, true
 		}
 	})
 	out := best{val: math.Inf(1)}
 	for _, b := range bests {
+		//lint:allow floateq exact argmin tie: ulp-equal costs resolve lexicographically by tuple, deterministic either way
 		if b.ok && (b.val < out.val || (b.val == out.val && out.ok && lessTuple(b.t, out.t))) {
 			out = b
 		}

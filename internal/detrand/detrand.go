@@ -1,0 +1,71 @@
+// Package detrand is the repository's deterministic random source: a
+// splitmix64 generator that is tiny, seedable, and — unlike math/rand,
+// whose global functions are unseeded and whose generator is not
+// pinned by the Go 1 compatibility promise — guaranteed to produce the
+// same stream for the same seed on every platform and Go release.
+// That stability is what makes every Monte-Carlo answer in this
+// repository (failure traces, deadline-risk estimates, uncertainty
+// intervals) replayable from its seed.
+//
+// celia-lint's nodeterm rule bans math/rand from the deterministic
+// packages and points here. internal/faults draws its failure traces
+// from this source, internal/faults/risk derives per-trial seeds with
+// Mix, and internal/uncertainty samples its measurement-error model
+// with NormFloat64.
+package detrand
+
+import "math"
+
+// Source is a splitmix64 pseudo-random generator. The zero value is a
+// valid seed-0 source; Source is not safe for concurrent use — give
+// each goroutine its own (Mix derives independent child seeds).
+type Source struct{ state uint64 }
+
+// New returns a source seeded with seed.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 advances the generator one step: an additive Weyl sequence on
+// the golden-ratio increment, finalized by the splitmix64 mix. Passes
+// BigCrush; period 2⁶⁴.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return mix(s.state)
+}
+
+// Float64 draws a uniform value in [0, 1) with 53 random bits.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 draws a standard normal deviate via the Box–Muller
+// transform. It consumes exactly two uniforms per call (no rejection
+// loop, no cached spare), so the stream position after n calls is
+// always 2n — handy when reasoning about replay.
+func (s *Source) NormFloat64() float64 {
+	u := 1 - s.Float64() // (0, 1]: the log is finite
+	v := s.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
+// ExpFloat64 draws an exponential deviate with rate 1 (mean 1) by
+// inversion.
+func (s *Source) ExpFloat64() float64 {
+	u := s.Float64()
+	// 1-u ∈ (0, 1]: the log is finite.
+	return -math.Log(1 - u)
+}
+
+// Mix derives the seed for an independent child stream: stream i of a
+// parent seed. Neighboring indices decorrelate through the same
+// splitmix64 finalizer the generator uses, so trial 17 and trial 18 of
+// one estimate share nothing but the parent seed.
+func Mix(seed uint64, stream int) uint64 {
+	return mix(seed + (uint64(stream)+1)*0x9e3779b97f4a7c15)
+}
+
+// mix is the splitmix64 finalizer (Stafford variant 13).
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

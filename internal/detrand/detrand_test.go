@@ -1,0 +1,103 @@
+package detrand
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGoldenStream pins the generator's output for seed 1. These
+// values are the contract: failure traces, risk estimates, and
+// uncertainty intervals all replay from seeds, so the stream must
+// never change across Go releases or refactors. If this test fails,
+// the generator changed and every stored seed-derived result is
+// invalidated — do not update the constants casually.
+func TestGoldenStream(t *testing.T) {
+	want := []uint64{
+		0x910a2dec89025cc1,
+		0xbeeb8da1658eec67,
+		0xf893a2eefb32555e,
+		0x71c18690ee42c90b,
+	}
+	s := New(1)
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("Uint64 #%d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+	if New(1).Uint64() == New(2).Uint64() {
+		t.Fatal("different seeds produced the same first value")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v outside [0, 1)", v)
+		}
+	}
+}
+
+// TestNormFloat64Moments checks mean ≈ 0 and variance ≈ 1 over a large
+// sample; loose 3σ-ish bounds keep the test deterministic and stable.
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(9)
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("NormFloat64() = %v", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ≈ 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("variance = %v, want ≈ 1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(11)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("ExpFloat64() = %v < 0", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.03 {
+		t.Errorf("mean = %v, want ≈ 1", mean)
+	}
+}
+
+func TestMixStreamsIndependent(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 1000; i++ {
+		seed := Mix(123, i)
+		if prev, dup := seen[seed]; dup {
+			t.Fatalf("Mix(123, %d) == Mix(123, %d)", i, prev)
+		}
+		seen[seed] = i
+	}
+	if Mix(1, 0) == Mix(2, 0) {
+		t.Fatal("different parent seeds produced the same child seed")
+	}
+}

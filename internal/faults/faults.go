@@ -24,9 +24,9 @@ package faults
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
+	"repro/internal/detrand"
 	"repro/internal/units"
 )
 
@@ -99,32 +99,16 @@ func (t Trace) String() string {
 	return fmt.Sprintf("trace%v", t.events)
 }
 
-// rng is a splitmix64 generator: tiny, seedable, and stable across Go
-// releases (unlike math/rand's unspecified default source), which keeps
-// traces — and therefore every Monte-Carlo risk answer — replayable.
-type rng struct{ state uint64 }
-
-func newRNG(seed uint64) *rng { return &rng{state: seed} }
-
-func (r *rng) next() uint64 {
-	r.state += 0x9e3779b97f4a7c15
-	z := r.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// float01 draws a uniform value in [0, 1).
-func (r *rng) float01() float64 {
-	return float64(r.next()>>11) / (1 << 53)
-}
+// Traces draw from detrand's splitmix64 source: tiny, seedable, and
+// stable across Go releases (unlike math/rand's unspecified default
+// source), which keeps traces — and therefore every Monte-Carlo risk
+// answer — replayable. The stream is bit-for-bit the one the package's
+// former private generator produced.
 
 // expSeconds draws an exponential waiting time (seconds) for a
 // per-hour rate.
-func (r *rng) expSeconds(ratePerHour float64) units.Seconds {
-	u := r.float01()
-	// 1-u ∈ (0, 1]: the log is finite.
-	return units.Seconds(-math.Log(1-u) / ratePerHour * 3600)
+func expSeconds(r *detrand.Source, ratePerHour float64) units.Seconds {
+	return units.Seconds(r.ExpFloat64() / ratePerHour * 3600)
 }
 
 // PoissonTrace draws one failure trace for a cluster of the given size
@@ -137,10 +121,10 @@ func PoissonTrace(seed uint64, hazardPerInstanceHour float64, instances int, hor
 	if hazardPerInstanceHour <= 0 || instances <= 0 || horizon <= 0 {
 		return Trace{}
 	}
-	r := newRNG(seed)
+	r := detrand.New(seed)
 	var events []Event
 	for i := 0; i < instances; i++ {
-		at := r.expSeconds(hazardPerInstanceHour)
+		at := expSeconds(r, hazardPerInstanceHour)
 		if at <= horizon {
 			events = append(events, Event{Instance: i, At: at})
 		}

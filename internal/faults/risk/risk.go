@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cloudsim"
 	"repro/internal/config"
+	"repro/internal/detrand"
 	"repro/internal/ec2"
 	"repro/internal/faults"
 	"repro/internal/stats"
@@ -91,13 +92,12 @@ type Result struct {
 	MeanFailures float64
 }
 
-// trialSeed derives the trace seed for one trial: a splitmix64-style
-// mix keeps neighboring trial indices uncorrelated.
+// trialSeed derives the trace seed for one trial: detrand's splitmix64
+// stream mix keeps neighboring trial indices uncorrelated. (It is the
+// same mix this function inlined before detrand existed, so stored
+// estimates replay unchanged.)
 func trialSeed(seed uint64, trial int) uint64 {
-	z := seed + (uint64(trial)+1)*0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return detrand.Mix(seed, trial)
 }
 
 // Estimate runs the Monte-Carlo evaluation. Deterministic for equal

@@ -111,6 +111,7 @@ func Advise(caps *model.Capacities, space *config.Space, st State, ov Overheads)
 			}
 			c := cu / 3600 * (T + float64(ov.Restore))
 			b := &bests[worker]
+			//lint:allow floateq exact argmin tie: ulp-equal costs resolve lexicographically by tuple, deterministic either way
 			if c < b.cost || (c == b.cost && b.ok && t.String() < b.t.String()) {
 				b.cost, b.t, b.ok = c, t, true
 			}
@@ -118,6 +119,7 @@ func Advise(caps *model.Capacities, space *config.Space, st State, ov Overheads)
 	}
 	bestMove := best{cost: math.Inf(1)}
 	for _, b := range bests {
+		//lint:allow floateq exact argmin tie: ulp-equal costs resolve lexicographically by tuple, deterministic either way
 		if b.ok && (b.cost < bestMove.cost || (b.cost == bestMove.cost && bestMove.ok && b.t.String() < bestMove.t.String())) {
 			bestMove = b
 		}

@@ -49,6 +49,7 @@ func Frontier2D(pts []Point) []Point {
 		if p.Y < bestY {
 			// Equal-X points are sorted by Y, so only the first
 			// (lowest-Y) survives for each X.
+			//lint:allow floateq exact dedup of equal-X points produced by one computation; no cross-run drift possible
 			if p.X == lastX && len(out) > 0 && out[len(out)-1].X == p.X {
 				continue
 			}
@@ -91,6 +92,7 @@ func EpsilonFrontier2D(pts []Point, epsX, epsY float64) []Point {
 	}
 	boxes := make([]boxed, 0, len(best))
 	for _, b := range best {
+		//lint:allow nodeterm boxes are fully sorted below by their unique (bx, by) map key, so output order is total
 		boxes = append(boxes, b)
 	}
 	sort.Slice(boxes, func(i, j int) bool {
@@ -133,6 +135,7 @@ func (s *Stream2D) Add(p Point) {
 		return
 	}
 	// An equal-X point with Y <= p.Y dominates p too.
+	//lint:allow floateq exact equal-X dominance test within one frontier; matches Frontier's dedup semantics
 	if i < len(s.frontier) && s.frontier[i].X == p.X && s.frontier[i].Y <= p.Y {
 		return
 	}
@@ -213,6 +216,7 @@ func FrontierKD(objs [][]float64) []int {
 
 func vecEqual(a, b []float64) bool {
 	for i := range a {
+		//lint:allow floateq exact vector identity for frontier dedup, not a numeric tolerance test
 		if a[i] != b[i] {
 			return false
 		}

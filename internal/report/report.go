@@ -172,10 +172,10 @@ func (c *Chart) String() string {
 	if first {
 		return c.Title + "\n(no data)\n"
 	}
-	if maxX == minX {
+	if maxX <= minX {
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY <= minY {
 		maxY = minY + 1
 	}
 	grid := make([][]byte, c.Height)

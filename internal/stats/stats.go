@@ -262,3 +262,18 @@ func RelErr(pred, actual float64) float64 {
 	}
 	return math.Abs(pred-actual) / math.Abs(actual) * 100
 }
+
+// ApproxEqual reports whether a and b agree within tol: absolutely for
+// small magnitudes, relatively (scaled by the larger magnitude) for
+// large ones. It is the repository's approved float-equality helper —
+// celia-lint's floateq rule forbids raw == / != on floats everywhere
+// else, because two mathematically equal computations routinely
+// disagree in the last ulp. NaN equals nothing; the exact-equality
+// fast path makes equal infinities compare true.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}

@@ -119,10 +119,16 @@ func bucketUpper(i int) float64 {
 }
 
 // Observe records one value. Negative and NaN observations are counted
-// in the lowest bucket so Count stays consistent with call volume.
+// in the lowest bucket so Count stays consistent with call volume, and
+// +Inf is clamped to the top bucket's upper bound (2⁴⁰) so Sum, Max,
+// and the quantiles stay finite — encoding/json refuses to marshal
+// infinities, which would take down the /debug/metrics export.
 func (h *Histogram) Observe(v float64) {
 	if math.IsNaN(v) || v < 0 {
 		v = 0
+	}
+	if math.IsInf(v, 1) {
+		v = bucketUpper(histSlots - 1)
 	}
 	h.count.Add(1)
 	h.sum.add(v)

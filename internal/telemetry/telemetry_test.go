@@ -137,6 +137,80 @@ func TestHandlerJSON(t *testing.T) {
 	}
 }
 
+func TestHistogramInfObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(math.Inf(1))  // was a panic: Frexp(+Inf) gave a negative bucket index
+	h.Observe(math.Inf(-1)) // negative path: lands in the lowest bucket
+	h.Observe(1)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	top := bucketUpper(histSlots - 1)
+	if h.Max() != top {
+		t.Fatalf("max = %v, want +Inf clamped to top bucket bound %v", h.Max(), top)
+	}
+	if math.IsInf(h.Sum(), 0) || math.IsNaN(h.Sum()) {
+		t.Fatalf("sum = %v, want finite", h.Sum())
+	}
+	if q := h.Quantile(1.0); math.IsInf(q, 0) || q < 1 {
+		t.Fatalf("p100 = %v, want finite and >= 1", q)
+	}
+}
+
+func TestSnapshotJSONStaysFiniteUnderEdgeObservations(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge.latency.ms")
+	for _, v := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1), 3.5} {
+		h.Observe(v)
+	}
+	if _, err := json.Marshal(r.Snapshot()); err != nil {
+		t.Fatalf("snapshot with edge observations must stay marshalable: %v", err)
+	}
+}
+
+func TestSnapshotDuringConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			h := r.Histogram("live.latency.ms")
+			c := r.Counter("live.requests")
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				switch j % 5 {
+				case 0:
+					h.Observe(math.Inf(1))
+				case 1:
+					h.Observe(0)
+				default:
+					h.Observe(float64(seed*100+j) / 3)
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := json.Marshal(r.Snapshot()); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("snapshot %d failed mid-traffic: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if r.Histogram("live.latency.ms").Count() != r.Counter("live.requests").Value() {
+		t.Fatalf("count = %d, requests = %d: every observation must land",
+			r.Histogram("live.latency.ms").Count(), r.Counter("live.requests").Value())
+	}
+}
+
 func TestNames(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("b")

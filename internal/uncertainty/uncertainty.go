@@ -11,11 +11,11 @@ package uncertainty
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/detrand"
 	"repro/internal/model"
 	"repro/internal/stats"
 	"repro/internal/units"
@@ -98,7 +98,10 @@ func (a *Analyzer) Predict(d units.Instructions, t config.Tuple, deadline units.
 	if math.IsInf(float64(base.Time), 1) {
 		return Prediction{}, fmt.Errorf("uncertainty: configuration %v has no capacity", t)
 	}
-	rng := rand.New(rand.NewSource(a.Seed))
+	// The splitmix64 source keeps intervals replayable across Go
+	// releases; math/rand's generator carries no such guarantee (and is
+	// banned from simulation paths by celia-lint's nodeterm rule).
+	rng := detrand.New(uint64(a.Seed))
 	times := make([]float64, a.Samples)
 	costs := make([]float64, a.Samples)
 	meet := 0
