@@ -253,12 +253,12 @@ func renderScaling(title string, res sweep.ScalingResult) string {
 func BenchmarkObs3DeadlineTightening(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		engG := core.NewPaperEngine(galaxy.App{})
-		g, err := sweep.Tightening(engG, workload.Params{N: 262144, A: 1000}, []float64{24, 48, 72})
+		g, err := sweep.Tightening(engG, workload.Params{N: 262144, A: 1000}, []units.Hours{24, 48, 72})
 		if err != nil {
 			b.Fatal(err)
 		}
 		engS := core.NewPaperEngine(sand.App{})
-		s, err := sweep.Tightening(engS, workload.Params{N: 8192e6, A: 0.32}, []float64{24, 48})
+		s, err := sweep.Tightening(engS, workload.Params{N: 8192e6, A: 0.32}, []units.Hours{24, 48})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -651,7 +651,7 @@ func BenchmarkServingColdVsCached(b *testing.B) {
 		DeadlineHours: 24, BudgetUSD: 350}
 	compute := func(eng *core.Engine) ([]byte, error) {
 		an, err := eng.Analyze(workload.Params{N: q.N, A: q.A}, core.Constraints{
-			Deadline: units.FromHours(q.DeadlineHours), Budget: units.USD(q.BudgetUSD),
+			Deadline: q.DeadlineHours.Seconds(), Budget: q.BudgetUSD,
 		}, core.Options{})
 		if err != nil {
 			return nil, err

@@ -12,12 +12,16 @@
 // the package identity a path-scoped rule expects.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure. Each
-// finding prints as "file:line:col: [rule] message". Findings are
-// suppressed by "//lint:allow <rule> <reason>" on the same or the
-// preceding line; the reason is mandatory.
+// finding prints as "file:line:col: [rule] message", or — with -json —
+// as one JSON object per line ({"file","line","col","rule","message"}),
+// the format .github/problem-matcher.json teaches GitHub Actions to
+// turn into PR annotations. Findings are suppressed by
+// "//lint:allow <rule> <reason>" on the same or the preceding line; the
+// reason is mandatory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,10 +29,20 @@ import (
 	"repro/internal/analysis"
 )
 
+// jsonFinding is the -json wire form, one object per line.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "print the rule set and exit")
+	asJSON := flag.Bool("json", false, "emit findings as JSON lines instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: celia-lint [-list] [./... | dir ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: celia-lint [-list] [-json] [./... | dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -72,7 +86,21 @@ func main() {
 	}
 
 	findings := analysis.Run(suite, targets)
+	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
+		if *asJSON {
+			if err := enc.Encode(jsonFinding{
+				File:    f.Pos.Filename,
+				Line:    f.Pos.Line,
+				Col:     f.Pos.Column,
+				Rule:    f.Rule,
+				Message: f.Msg,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "celia-lint:", err)
+				os.Exit(2)
+			}
+			continue
+		}
 		fmt.Println(f)
 	}
 	if len(findings) > 0 {

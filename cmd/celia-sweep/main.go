@@ -173,9 +173,9 @@ func obs3() {
 	tb := report.NewTable("Observation 3: galaxy(262144, 1000)", "deadline (h)", "min cost ($)", "config")
 	for _, pt := range g.Points {
 		if pt.Feasible {
-			tb.AddRow(pt.DeadlineHours, float64(pt.Cost), pt.Config)
+			tb.AddRow(float64(pt.DeadlineHours), float64(pt.Cost), pt.Config)
 		} else {
-			tb.AddRow(pt.DeadlineHours, "-", "infeasible")
+			tb.AddRow(float64(pt.DeadlineHours), "-", "infeasible")
 		}
 	}
 	write(tb)
@@ -183,7 +183,7 @@ func obs3() {
 		g.DeadlineCutPct, g.CostRisePct)
 
 	engS := core.NewPaperEngine(sand.App{})
-	s, err := sweep.Tightening(engS, workload.Params{N: 8192e6, A: 0.32}, []float64{24, 48})
+	s, err := sweep.Tightening(engS, workload.Params{N: 8192e6, A: 0.32}, []units.Hours{24, 48})
 	if err != nil {
 		log.Fatal(err)
 	}

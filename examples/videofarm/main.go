@@ -24,7 +24,7 @@ func main() {
 	batch := workload.Params{N: 16000, A: 28} // 16,000 clips at quality f=28
 
 	fmt.Printf("x264 batch: %g clips at f=%g\n\n", batch.N, batch.A)
-	res, err := sweep.Tightening(engine, batch, []float64{3, 6, 12, 24, 48})
+	res, err := sweep.Tightening(engine, batch, []units.Hours{3, 6, 12, 24, 48})
 	if err != nil {
 		log.Fatal(err)
 	}

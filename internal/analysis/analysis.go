@@ -1,6 +1,6 @@
 // Package analysis is celia-lint: a zero-dependency static-analysis
 // suite that machine-checks the repository's determinism, float-safety,
-// and serving invariants. CELIA's value rests on bit-for-bit replayable
+// dimensional-soundness, and serving invariants. CELIA's value rests on bit-for-bit replayable
 // model output — the Eq. 2–6 cost/time census, the seeded Monte-Carlo
 // deadline-risk estimator, and the byte-exact serving cache — and those
 // guarantees die silently the first time someone reads the wall clock
@@ -75,7 +75,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // Suite returns the full rule set in stable order.
 func Suite() []*Analyzer {
-	return []*Analyzer{Nodeterm, Floateq, Metricname, Httpenvelope, Nakedgo}
+	return []*Analyzer{Nodeterm, Floateq, Metricname, Httpenvelope, Nakedgo, Unitsafe}
 }
 
 // Run applies the analyzers to every package and returns the findings

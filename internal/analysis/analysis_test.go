@@ -40,6 +40,7 @@ func TestAnalyzersFireOnBadFixtures(t *testing.T) {
 		{"metricname", "metricname_bad", 5},
 		{"httpenvelope", "httpenvelope_bad", 2},
 		{"nakedgo", "nakedgo_bad", 1},
+		{"unitsafe", "unitsafe_bad", 7},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {
@@ -67,6 +68,7 @@ func TestAnalyzersQuietOnGoodFixtures(t *testing.T) {
 		"metricname_good",
 		"httpenvelope_good",
 		"nakedgo_good",
+		"unitsafe_good",
 	}
 	for _, dir := range dirs {
 		t.Run(dir, func(t *testing.T) {

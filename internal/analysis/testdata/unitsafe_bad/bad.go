@@ -1,0 +1,40 @@
+// Package lintfixture seeds every class of unitsafe violation: an
+// off-table product that cascades into an unlike-dimension sum, unit
+// strips through float64, a cross-unit relabel, a compound assignment
+// that squares a dollar amount, and raw float64 quantities in an
+// exported signature.
+//
+//celialint:as repro/internal/core/lintfixture
+package lintfixture
+
+import "repro/internal/units"
+
+// Sq "squares" a duration — s·s is on no row of the dimension table —
+// and then adds a plain duration to the square, mixing s^2 with s.
+func Sq(a, b units.Seconds) units.Seconds {
+	return a*b + a
+}
+
+// Strip launders typed quantities back to raw floats instead of going
+// through the accessor methods.
+func Strip(d units.Seconds, r units.Rate) float64 {
+	return float64(d) + float64(r)
+}
+
+// Relabel coerces an hour count into a dollar amount: the value is
+// untouched, only the label changes.
+func Relabel(h units.Hours) units.USD {
+	return units.USD(h)
+}
+
+// DollarSquared multiplies two dollar amounts in place, leaving $^2
+// stored in a USD variable.
+func DollarSquared(bid, ask units.USD) units.USD {
+	bid *= ask
+	return bid
+}
+
+// Deadline takes quantities the units package models as raw float64s.
+func Deadline(deadline float64, budget float64) float64 {
+	return deadline + budget
+}

@@ -1,0 +1,56 @@
+// Package lintfixture exercises the legal unitsafe patterns: table
+// products and quotients, constructor coercions of raw scalars, the
+// accessor exits, the divide-like-by-like ratio trick, an infinity
+// sentinel, and a reasoned waiver.
+//
+//celialint:as repro/internal/model/lintfixture
+package lintfixture
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// Predict applies Eq. 2 and Eq. 5 through the table: Instructions /
+// Rate yields Seconds, and $/h held over a duration yields $.
+func Predict(d units.Instructions, w units.Rate, p units.USDPerHour) (units.Seconds, units.USD) {
+	t := units.Time(d, w)
+	return t, p.Over(t)
+}
+
+// Scale multiplies a rate by a dimensionless factor coerced through
+// the constructor — dimensionally a scalar, so Rate stays Rate.
+func Scale(w units.Rate, factor float64) units.Rate {
+	return w * units.Rate(factor)
+}
+
+// Span divides like by like before converting: the quotient is
+// dimensionless, so float64 strips nothing.
+func Span(hi, lo units.USD) float64 {
+	if lo == 0 {
+		return 0
+	}
+	return float64(hi / lo)
+}
+
+// Axes exits to raw floats through the approved accessors.
+func Axes(d units.Instructions, w units.Rate, t units.Seconds) (float64, float64, float64) {
+	return d.Billions(), w.GIPSValue(), t.Hours()
+}
+
+// Sorted strips makespans for a kernel that wants raw float64s; the
+// waiver documents why that is safe here.
+func Sorted(ms []units.Seconds) []float64 {
+	out := make([]float64, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, float64(m)) //lint:allow unitsafe quantile kernel sorts raw float64; callers retype on return
+	}
+	return out
+}
+
+// Sentinel builds an unreachable deadline from a raw infinity: the
+// constructor coerces a plain scalar, not another unit.
+func Sentinel() units.Seconds {
+	return units.Seconds(math.Inf(1))
+}

@@ -1,0 +1,436 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// unitsafePrefixes names the model-layer package trees whose arithmetic
+// must be dimensionally sound: everything that computes the paper's
+// Eq. 2-6 quantities (instructions, rates, durations, money) or feeds
+// them. internal/units itself is the trusted kernel — its accessor and
+// constructor bodies are where raw floats legitimately meet typed
+// quantities — so it is deliberately not listed.
+var unitsafePrefixes = []string{
+	"internal/core",
+	"internal/model",
+	"internal/cloudsim",
+	"internal/ec2",
+	"internal/pareto",
+	"internal/faults",
+	"internal/spot",
+	"internal/autoscale",
+	"internal/sweep",
+}
+
+// Unitsafe is dimensional analysis for the units.* quantity types. Each
+// named type carries an exponent vector over the base quantities
+// (instructions, seconds, hours, dollars); products and quotients are
+// checked by vector arithmetic, which derives the legal result table:
+//
+//	Instructions / Rate         → Seconds        (Eq. 2)
+//	Instructions / Seconds      → Rate
+//	Rate × Seconds              → Instructions   (Eq. 3 over time)
+//	USDPerHour × Hours          → USD            (Eq. 5)
+//	USDPerSecond × Seconds      → USD
+//	USD / Hours                 → USDPerHour
+//	USD / Seconds               → USDPerSecond
+//	USD / USDPerHour            → Hours
+//	USD / USDPerSecond          → Seconds
+//	X × dimensionless           → X
+//	X / dimensionless           → X
+//	X / X                       → dimensionless  (the ratio trick)
+//
+// It flags (a) addition/subtraction/comparison of unlike dimensions,
+// (b) multiplication/division whose result dimension no units type
+// models, (c) numeric conversions (float64(x), int(x)) that strip a
+// unit type — the accessor methods (Hours, GIPSValue, Billions, ...)
+// are the approved exits, and dividing like by like first makes the
+// operand dimensionless — and (d) raw float64 parameters or named
+// results in exported model-layer functions whose names say they hold
+// a dimensioned quantity.
+//
+// Untyped constants and raw float64 expressions are polymorphic
+// scalars: they adopt whatever dimension the surrounding arithmetic
+// needs, so constructor coercions like rate * units.Rate(factor) read
+// as Rate × dimensionless → Rate. Converting one unit type directly
+// into another (units.USD(hours)) relabels the quantity without
+// converting its value and is always a finding.
+var Unitsafe = &Analyzer{
+	Name: "unitsafe",
+	Doc: "dimensional analysis over the units.* types: forbid unlike-dimension " +
+		"sums, off-table products, unit-stripping conversions, and raw float64 " +
+		"quantities in exported model-layer signatures",
+	Run: runUnitsafe,
+}
+
+// dvec is a dimension: exponents over the base quantities, in the
+// order instructions, seconds, hours, dollars.
+type dvec [4]int8
+
+// unitsDims assigns each units.* named type its dimension vector.
+var unitsDims = map[string]dvec{
+	"Instructions": {1, 0, 0, 0},
+	"Rate":         {1, -1, 0, 0},
+	"Seconds":      {0, 1, 0, 0},
+	"Hours":        {0, 0, 1, 0},
+	"USD":          {0, 0, 0, 1},
+	"USDPerHour":   {0, 0, -1, 1},
+	"USDPerSecond": {0, -1, 0, 1},
+}
+
+// dimNames is the reverse lookup, for naming results of the vector
+// arithmetic.
+var dimNames = func() map[dvec]string {
+	m := make(map[dvec]string, len(unitsDims))
+	for name, v := range unitsDims {
+		m[v] = name
+	}
+	return m
+}()
+
+// dimName renders a dimension vector for findings: the units type name
+// when one models it, else an explicit product of base units.
+func dimName(v dvec) string {
+	if v == (dvec{}) {
+		return "dimensionless"
+	}
+	if n, ok := dimNames[v]; ok {
+		return "units." + n
+	}
+	bases := [4]string{"instr", "s", "h", "$"}
+	var parts []string
+	for i, e := range v {
+		switch e {
+		case 0:
+		case 1:
+			parts = append(parts, bases[i])
+		default:
+			parts = append(parts, fmt.Sprintf("%s^%d", bases[i], e))
+		}
+	}
+	return strings.Join(parts, "·")
+}
+
+// udim is the dimension of one expression. poly marks a dimensionless
+// scalar free to adopt any dimension: untyped constants, raw float64
+// values, and units constructors applied to raw values (which coerce
+// Go's type system, not the quantity's dimension).
+type udim struct {
+	v    dvec
+	poly bool
+}
+
+type unitsafeChecker struct {
+	pass *Pass
+	memo map[ast.Expr]udim
+}
+
+func runUnitsafe(pass *Pass) {
+	applies := false
+	for _, p := range unitsafePrefixes {
+		if pathWithin(pass.Path, p) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return
+	}
+	c := &unitsafeChecker{pass: pass, memo: map[ast.Expr]udim{}}
+	for _, file := range pass.Files {
+		c.checkSignatures(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				c.dimOf(n)
+			case *ast.CallExpr:
+				if tv, ok := pass.Info.Types[n.Fun]; ok && tv.IsType() {
+					c.dimOf(n)
+				}
+			case *ast.AssignStmt:
+				c.checkOpAssign(n)
+			}
+			return true
+		})
+	}
+}
+
+// dimOf evaluates an expression's dimension, memoized so each
+// subexpression is checked (and reported) exactly once even though the
+// walk revisits nested nodes.
+func (c *unitsafeChecker) dimOf(e ast.Expr) udim {
+	if d, ok := c.memo[e]; ok {
+		return d
+	}
+	d := c.eval(e)
+	c.memo[e] = d
+	return d
+}
+
+func (c *unitsafeChecker) eval(e ast.Expr) udim {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.dimOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return c.dimOf(e.X)
+		}
+		return c.staticDim(e)
+	case *ast.BinaryExpr:
+		return c.evalBinary(e)
+	case *ast.CallExpr:
+		if tv, ok := c.pass.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return c.evalConversion(e, tv.Type)
+		}
+		return c.staticDim(e)
+	default:
+		return c.staticDim(e)
+	}
+}
+
+// staticDim reads an expression's dimension off its Go type: units
+// named types carry their vector, everything else — constants, raw
+// numerics, non-numeric types — is a polymorphic scalar.
+func (c *unitsafeChecker) staticDim(e ast.Expr) udim {
+	tv, ok := c.pass.Info.Types[e]
+	if !ok || tv.Value != nil {
+		return udim{poly: true}
+	}
+	if v, ok := unitsTypeDim(tv.Type); ok {
+		return udim{v: v}
+	}
+	return udim{poly: true}
+}
+
+func (c *unitsafeChecker) evalBinary(e *ast.BinaryExpr) udim {
+	x := c.dimOf(e.X)
+	y := c.dimOf(e.Y)
+	switch e.Op {
+	case token.ADD, token.SUB:
+		return c.requireSame(e.OpPos, e.Op.String(), x, y)
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		c.requireSame(e.OpPos, e.Op.String(), x, y)
+		return udim{poly: true} // the comparison's own result is a bool
+	case token.MUL:
+		return c.combine(e.OpPos, x, y, false)
+	case token.QUO:
+		return c.combine(e.OpPos, x, y, true)
+	}
+	return udim{poly: true}
+}
+
+// requireSame enforces check (a): both sides of a sum or comparison
+// must share a dimension, with polymorphic scalars adopting the other
+// side's.
+func (c *unitsafeChecker) requireSame(pos token.Pos, op string, x, y udim) udim {
+	switch {
+	case x.poly && y.poly:
+		return udim{poly: true}
+	case x.poly:
+		return y
+	case y.poly:
+		return x
+	case x.v == y.v:
+		return x
+	}
+	c.pass.Reportf(pos, "%s mixes %s and %s; convert one side first", op, dimName(x.v), dimName(y.v))
+	return x
+}
+
+// combine enforces check (b): products and quotients of dimensioned
+// operands must land on a modeled dimension. The erroneous result
+// keeps its computed vector so downstream sums surface too.
+func (c *unitsafeChecker) combine(pos token.Pos, x, y udim, div bool) udim {
+	switch {
+	case x.poly && y.poly:
+		return udim{poly: true}
+	case y.poly:
+		return x // X * k, X / k
+	case x.poly && !div:
+		return y // k * X
+	case x.poly:
+		return udim{poly: true} // k / X: inverse dimensions are out of scope
+	}
+	var v dvec
+	for i := range v {
+		if div {
+			v[i] = x.v[i] - y.v[i]
+		} else {
+			v[i] = x.v[i] + y.v[i]
+		}
+	}
+	if v == (dvec{}) {
+		return udim{poly: true} // X / X: the ratio trick
+	}
+	if _, ok := dimNames[v]; ok {
+		return udim{v: v}
+	}
+	op := "*"
+	if div {
+		op = "/"
+	}
+	c.pass.Reportf(pos, "%s %s %s yields %s, which no units type models",
+		dimName(x.v), op, dimName(y.v), dimName(v))
+	return udim{v: v}
+}
+
+// evalConversion enforces check (c) and the relabel rule.
+func (c *unitsafeChecker) evalConversion(e *ast.CallExpr, target types.Type) udim {
+	ad := c.dimOf(e.Args[0])
+	if tv, ok := unitsTypeDim(target); ok {
+		switch {
+		case ad.poly:
+			// Constructor over a raw value: coerces Go's type system,
+			// dimensionally still a free scalar.
+			return udim{poly: true}
+		case ad.v == tv:
+			return udim{v: tv}
+		default:
+			c.pass.Reportf(e.Pos(), "conversion relabels %s as %s without converting the value",
+				dimName(ad.v), dimName(tv))
+			return udim{v: tv}
+		}
+	}
+	if b, ok := target.(*types.Basic); ok && b.Info()&types.IsNumeric != 0 {
+		if !ad.poly && ad.v != (dvec{}) {
+			c.pass.Reportf(e.Pos(), "%s(...) strips the %s dimension; use an accessor (Hours, GIPSValue, Billions, ...) or divide like by like first",
+				b.Name(), dimName(ad.v))
+		}
+		return udim{poly: true}
+	}
+	return c.staticDim(e)
+}
+
+// checkOpAssign extends checks (a) and (b) to the compound assignment
+// operators, which go/ast models as statements rather than binary
+// expressions.
+func (c *unitsafeChecker) checkOpAssign(a *ast.AssignStmt) {
+	switch a.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	if len(a.Lhs) != 1 || len(a.Rhs) != 1 {
+		return
+	}
+	x := c.dimOf(a.Lhs[0])
+	y := c.dimOf(a.Rhs[0])
+	switch a.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if !x.poly && !y.poly && x.v != y.v {
+			c.pass.Reportf(a.TokPos, "%s mixes %s and %s; convert one side first",
+				a.Tok, dimName(x.v), dimName(y.v))
+		}
+	case token.MUL_ASSIGN, token.QUO_ASSIGN:
+		// The result lands back in the left operand, so the right side
+		// must be dimensionless for the dimension to survive.
+		if !x.poly && !y.poly && y.v != (dvec{}) {
+			c.pass.Reportf(a.TokPos, "%s by %s changes the left side's %s dimension",
+				a.Tok, dimName(y.v), dimName(x.v))
+		}
+	}
+}
+
+// checkSignatures enforces check (d): exported functions in the model
+// layer must not take or return raw float64 quantities under names
+// that say they hold a dimensioned value. Struct fields and unnamed
+// results are out of scope.
+func (c *unitsafeChecker) checkSignatures(file *ast.File) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || !fd.Name.IsExported() {
+			continue
+		}
+		check := func(fl *ast.FieldList, kind string) {
+			if fl == nil {
+				return
+			}
+			for _, field := range fl.List {
+				for _, name := range field.Names {
+					obj := c.pass.Info.Defs[name]
+					if obj == nil || !isRawFloat64(obj.Type()) {
+						continue
+					}
+					if want := unitHintSuggest[unitHinted(name.Name)]; want != "" {
+						c.pass.Reportf(name.Pos(), "exported %s: %s %q is a raw float64; %s fits",
+							fd.Name.Name, kind, name.Name, want)
+					}
+				}
+			}
+		}
+		check(fd.Type.Params, "parameter")
+		check(fd.Type.Results, "result")
+	}
+}
+
+// isRawFloat64 matches float64 and []float64 exactly — named float
+// types (including the units types) are what the rule wants instead.
+func isRawFloat64(t types.Type) bool {
+	if s, ok := t.(*types.Slice); ok {
+		t = s.Elem()
+	}
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+// unitsTypeDim resolves a type to its dimension vector when it is one
+// of the units.* named types.
+func unitsTypeDim(t types.Type) (dvec, bool) {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return dvec{}, false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || !pathWithin(obj.Pkg().Path(), "internal/units") {
+		return dvec{}, false
+	}
+	v, ok := unitsDims[obj.Name()]
+	return v, ok
+}
+
+// unitHinted reports the wordlist entry a parameter/result name matches
+// (exact or suffix), or "".
+func unitHinted(name string) string {
+	ln := strings.ToLower(name)
+	for _, w := range unitHintWords {
+		if ln == w || strings.HasSuffix(ln, w) {
+			return w
+		}
+	}
+	return ""
+}
+
+// unitHintWords are name fragments that mark a raw float64 as a
+// quantity some units type models. Matching is on parameter/result
+// names, never function names, so e.g. an InterruptionRate() hazard
+// probability is not dragged in.
+var unitHintWords = []string{
+	"seconds", "secs", "deadline", "budget", "cost", "price", "usd",
+	"dollars", "hours", "demand", "capacity", "instr", "instructions",
+	"gips", "makespan", "horizon",
+}
+
+// unitHintSuggest maps each wordlist entry to the type the finding
+// recommends.
+var unitHintSuggest = map[string]string{
+	"seconds":      "units.Seconds",
+	"secs":         "units.Seconds",
+	"deadline":     "units.Seconds",
+	"makespan":     "units.Seconds",
+	"horizon":      "units.Seconds",
+	"budget":       "units.USD",
+	"cost":         "units.USD",
+	"usd":          "units.USD",
+	"dollars":      "units.USD",
+	"price":        "units.USDPerHour",
+	"hours":        "units.Hours",
+	"demand":       "units.Instructions",
+	"instr":        "units.Instructions",
+	"instructions": "units.Instructions",
+	"gips":         "units.Rate",
+	"capacity":     "units.Rate",
+}

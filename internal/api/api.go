@@ -135,11 +135,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Request is the common body of the query endpoints. Zero deadline or
 // budget means unconstrained.
 type Request struct {
-	App       string  `json:"app"`
-	N         float64 `json:"n"`
-	A         float64 `json:"a"`
-	DeadlineH float64 `json:"deadline_hours,omitempty"`
-	BudgetUSD float64 `json:"budget_usd,omitempty"`
+	App       string      `json:"app"`
+	N         float64     `json:"n"`
+	A         float64     `json:"a"`
+	DeadlineH units.Hours `json:"deadline_hours,omitempty"`
+	BudgetUSD units.USD   `json:"budget_usd,omitempty"`
 	// MaxFrontier caps frontier rows in analyze responses (default 100).
 	MaxFrontier int `json:"max_frontier,omitempty"`
 	// Confidence is reserved for robust queries and not implemented;
@@ -149,9 +149,9 @@ type Request struct {
 
 // ConfigResult is one configuration with its prediction.
 type ConfigResult struct {
-	Config    []int   `json:"config"`
-	TimeHours float64 `json:"time_hours"`
-	CostUSD   float64 `json:"cost_usd"`
+	Config    []int       `json:"config"`
+	TimeHours units.Hours `json:"time_hours"`
+	CostUSD   units.USD   `json:"cost_usd"`
 }
 
 // AnalyzeResponse is the census result.
@@ -160,8 +160,8 @@ type AnalyzeResponse struct {
 	Total      uint64         `json:"total_configurations"`
 	Feasible   uint64         `json:"feasible_configurations"`
 	Frontier   []ConfigResult `json:"pareto_frontier"`
-	CostLowUSD float64        `json:"frontier_cost_low_usd"`
-	CostHiUSD  float64        `json:"frontier_cost_high_usd"`
+	CostLowUSD units.USD      `json:"frontier_cost_low_usd"`
+	CostHiUSD  units.USD      `json:"frontier_cost_high_usd"`
 }
 
 // OptimizeResponse answers mincost/mintime/maxaccuracy.
@@ -270,23 +270,23 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		DeadlineHours: req.DeadlineH, BudgetUSD: req.BudgetUSD, MaxFrontier: maxRows}
 	s.serve(w, r, q, func(eng *core.Engine) ([]byte, error) {
 		an, err := eng.Analyze(workload.Params{N: req.N, A: req.A}, core.Constraints{
-			Deadline: units.FromHours(req.DeadlineH),
-			Budget:   units.USD(req.BudgetUSD),
+			Deadline: req.DeadlineH.Seconds(),
+			Budget:   req.BudgetUSD,
 		}, core.Options{})
 		if err != nil {
 			return nil, err
 		}
 		resp := AnalyzeResponse{App: req.App, Total: an.Total, Feasible: an.Feasible}
 		lo, hi, _ := an.CostSpan()
-		resp.CostLowUSD, resp.CostHiUSD = float64(lo), float64(hi)
+		resp.CostLowUSD, resp.CostHiUSD = lo, hi
 		for i, f := range an.Frontier {
 			if i >= maxRows {
 				break
 			}
 			resp.Frontier = append(resp.Frontier, ConfigResult{
 				Config:    f.Config.Counts(),
-				TimeHours: f.Time.Hours(),
-				CostUSD:   float64(f.Cost),
+				TimeHours: f.Time.InHours(),
+				CostUSD:   f.Cost,
 			})
 		}
 		return json.Marshal(resp)
@@ -305,7 +305,7 @@ func (s *Server) handleMinCost(w http.ResponseWriter, r *http.Request) {
 	q := serving.Query{Kind: "mincost", App: req.App, N: req.N, A: req.A, DeadlineHours: req.DeadlineH}
 	s.serve(w, r, q, func(eng *core.Engine) ([]byte, error) {
 		pred, feasible, err := eng.MinCostForDeadline(workload.Params{N: req.N, A: req.A},
-			units.FromHours(req.DeadlineH))
+			req.DeadlineH.Seconds())
 		if err != nil {
 			return nil, err
 		}
@@ -313,8 +313,8 @@ func (s *Server) handleMinCost(w http.ResponseWriter, r *http.Request) {
 		if feasible {
 			resp.Best = &ConfigResult{
 				Config:    pred.Config.Counts(),
-				TimeHours: pred.Time.Hours(),
-				CostUSD:   float64(pred.Cost),
+				TimeHours: pred.Time.InHours(),
+				CostUSD:   pred.Cost,
 			}
 		}
 		return json.Marshal(resp)
@@ -333,7 +333,7 @@ func (s *Server) handleMinTime(w http.ResponseWriter, r *http.Request) {
 	q := serving.Query{Kind: "mintime", App: req.App, N: req.N, A: req.A, BudgetUSD: req.BudgetUSD}
 	s.serve(w, r, q, func(eng *core.Engine) ([]byte, error) {
 		pred, feasible, err := eng.MinTimeForBudget(workload.Params{N: req.N, A: req.A},
-			units.USD(req.BudgetUSD))
+			req.BudgetUSD)
 		if err != nil {
 			return nil, err
 		}
@@ -341,8 +341,8 @@ func (s *Server) handleMinTime(w http.ResponseWriter, r *http.Request) {
 		if feasible {
 			resp.Best = &ConfigResult{
 				Config:    pred.Config.Counts(),
-				TimeHours: pred.Time.Hours(),
-				CostUSD:   float64(pred.Cost),
+				TimeHours: pred.Time.InHours(),
+				CostUSD:   pred.Cost,
 			}
 		}
 		return json.Marshal(resp)
@@ -362,8 +362,8 @@ func (s *Server) handleMaxAccuracy(w http.ResponseWriter, r *http.Request) {
 		DeadlineHours: req.DeadlineH, BudgetUSD: req.BudgetUSD}
 	s.serve(w, r, q, func(eng *core.Engine) ([]byte, error) {
 		p, pred, feasible, err := eng.MaxAccuracy(req.N, core.Constraints{
-			Deadline: units.FromHours(req.DeadlineH),
-			Budget:   units.USD(req.BudgetUSD),
+			Deadline: req.DeadlineH.Seconds(),
+			Budget:   req.BudgetUSD,
 		}, 1e-3)
 		if err != nil {
 			return nil, err
@@ -373,8 +373,8 @@ func (s *Server) handleMaxAccuracy(w http.ResponseWriter, r *http.Request) {
 			resp.Accuracy = p.A
 			resp.Best = &ConfigResult{
 				Config:    pred.Config.Counts(),
-				TimeHours: pred.Time.Hours(),
-				CostUSD:   float64(pred.Cost),
+				TimeHours: pred.Time.InHours(),
+				CostUSD:   pred.Cost,
 			}
 		}
 		return json.Marshal(resp)
@@ -385,32 +385,32 @@ func (s *Server) handleMaxAccuracy(w http.ResponseWriter, r *http.Request) {
 // configuration (node counts per catalog type); omitted, the server
 // solves mincost for the deadline first and evaluates that tuple.
 type riskRequest struct {
-	App           string  `json:"app"`
-	N             float64 `json:"n"`
-	A             float64 `json:"a"`
-	DeadlineH     float64 `json:"deadline_hours"`
-	HazardPerHour float64 `json:"hazard_per_hour"`
-	Trials        int     `json:"trials,omitempty"`
-	Seed          uint64  `json:"seed,omitempty"`
-	Config        []int   `json:"config,omitempty"`
+	App           string      `json:"app"`
+	N             float64     `json:"n"`
+	A             float64     `json:"a"`
+	DeadlineH     units.Hours `json:"deadline_hours"`
+	HazardPerHour float64     `json:"hazard_per_hour"`
+	Trials        int         `json:"trials,omitempty"`
+	Seed          uint64      `json:"seed,omitempty"`
+	Config        []int       `json:"config,omitempty"`
 }
 
 // RiskResponse is the Monte-Carlo deadline-risk estimate.
 type RiskResponse struct {
-	App             string  `json:"app"`
-	Config          []int   `json:"config"`
-	Trials          int     `json:"trials"`
-	FailedTrials    int     `json:"failed_trials"`
-	MissProbability float64 `json:"miss_probability"`
-	MeanFailures    float64 `json:"mean_failures_per_trial"`
-	BaseTimeHours   float64 `json:"base_time_hours"`
-	BaseCostUSD     float64 `json:"base_cost_usd"`
-	TimeP50Hours    float64 `json:"time_p50_hours"`
-	TimeP90Hours    float64 `json:"time_p90_hours"`
-	TimeP99Hours    float64 `json:"time_p99_hours"`
-	CostP50USD      float64 `json:"cost_p50_usd"`
-	CostP90USD      float64 `json:"cost_p90_usd"`
-	CostP99USD      float64 `json:"cost_p99_usd"`
+	App             string      `json:"app"`
+	Config          []int       `json:"config"`
+	Trials          int         `json:"trials"`
+	FailedTrials    int         `json:"failed_trials"`
+	MissProbability float64     `json:"miss_probability"`
+	MeanFailures    float64     `json:"mean_failures_per_trial"`
+	BaseTimeHours   units.Hours `json:"base_time_hours"`
+	BaseCostUSD     units.USD   `json:"base_cost_usd"`
+	TimeP50Hours    units.Hours `json:"time_p50_hours"`
+	TimeP90Hours    units.Hours `json:"time_p90_hours"`
+	TimeP99Hours    units.Hours `json:"time_p99_hours"`
+	CostP50USD      units.USD   `json:"cost_p50_usd"`
+	CostP90USD      units.USD   `json:"cost_p90_usd"`
+	CostP99USD      units.USD   `json:"cost_p99_usd"`
 }
 
 // canonicalConfig renders a tuple request field for the cache key:
@@ -486,7 +486,7 @@ func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
 		p := workload.Params{N: req.N, A: req.A}
 		t := tuple
 		if len(req.Config) == 0 {
-			pred, feasible, err := eng.MinCostForDeadline(p, units.FromHours(req.DeadlineH))
+			pred, feasible, err := eng.MinCostForDeadline(p, req.DeadlineH.Seconds())
 			if err != nil {
 				return nil, err
 			}
@@ -503,7 +503,7 @@ func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
 			Trials:        trials,
 			Seed:          req.Seed,
 			HazardPerHour: req.HazardPerHour,
-			Deadline:      units.FromHours(req.DeadlineH),
+			Deadline:      req.DeadlineH.Seconds(),
 			Sim:           cloudsim.DefaultOptions(),
 			Recovery:      faults.DefaultRecovery(),
 		})
@@ -518,14 +518,14 @@ func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
 			FailedTrials:    est.Failed,
 			MissProbability: est.MissProb,
 			MeanFailures:    est.MeanFailures,
-			BaseTimeHours:   est.BaseMakespan.Hours(),
-			BaseCostUSD:     float64(est.BaseCost),
-			TimeP50Hours:    est.MakespanP50.Hours(),
-			TimeP90Hours:    est.MakespanP90.Hours(),
-			TimeP99Hours:    est.MakespanP99.Hours(),
-			CostP50USD:      float64(est.CostP50),
-			CostP90USD:      float64(est.CostP90),
-			CostP99USD:      float64(est.CostP99),
+			BaseTimeHours:   est.BaseMakespan.InHours(),
+			BaseCostUSD:     est.BaseCost,
+			TimeP50Hours:    est.MakespanP50.InHours(),
+			TimeP90Hours:    est.MakespanP90.InHours(),
+			TimeP99Hours:    est.MakespanP99.InHours(),
+			CostP50USD:      est.CostP50,
+			CostP90USD:      est.CostP90,
+			CostP99USD:      est.CostP99,
 		})
 	})
 }

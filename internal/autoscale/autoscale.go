@@ -105,7 +105,7 @@ func Simulate(caps *model.Capacities, space *config.Space, d units.Instructions,
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool {
-		ea, eb := w[order[a]]/nodeCost[order[a]], w[order[b]]/nodeCost[order[b]]
+		ea, eb := units.PerDollar(w[order[a]], nodeCost[order[a]]), units.PerDollar(w[order[b]], nodeCost[order[b]])
 		if ea != eb {
 			return ea > eb
 		}
@@ -114,35 +114,35 @@ func Simulate(caps *model.Capacities, space *config.Space, d units.Instructions,
 
 	counts := make([]int, m)
 	counts[order[0]] = 1
-	capacityOf := func() float64 {
-		var u float64
+	capacityOf := func() units.Rate {
+		var u units.Rate
 		for i, c := range counts {
-			u += float64(c) * w[i]
+			u += units.Rate(c) * w[i]
 		}
 		return u
 	}
-	unitCostOf := func() float64 {
-		var cu float64
+	unitCostOf := func() units.USDPerHour {
+		var cu units.USDPerHour
 		for i, c := range counts {
-			cu += float64(c) * nodeCost[i]
+			cu += units.USDPerHour(c) * nodeCost[i]
 		}
 		return cu
 	}
 
 	var tr Trace
-	remaining := float64(d)
-	now := 0.0
+	remaining := d
+	var now units.Seconds
 	for epoch := 0; epoch < pol.MaxEpochs && remaining > 0; epoch++ {
-		if now >= float64(deadline) {
+		if now >= deadline {
 			break
 		}
-		timeLeft := float64(deadline) - now
+		timeLeft := deadline - now
 		u := capacityOf()
 
 		// Reactive decision: scale up until the projection fits, then
 		// maybe shrink.
 		added := 0
-		for remaining/capacityOf() > pol.Headroom*timeLeft {
+		for units.Time(remaining, capacityOf()) > units.Seconds(pol.Headroom)*timeLeft {
 			grew := false
 			for _, i := range order {
 				if counts[i] < space.Max(i) {
@@ -164,7 +164,7 @@ func Simulate(caps *model.Capacities, space *config.Space, d units.Instructions,
 					continue
 				}
 				uWithout := capacityOf() - w[i]
-				if uWithout > 0 && remaining/uWithout < pol.ShrinkBelow*timeLeft {
+				if uWithout > 0 && units.Time(remaining, uWithout) < units.Seconds(pol.ShrinkBelow)*timeLeft {
 					counts[i]--
 					added--
 				}
@@ -177,18 +177,18 @@ func Simulate(caps *model.Capacities, space *config.Space, d units.Instructions,
 			return Trace{}, err
 		}
 		tr.Steps = append(tr.Steps, Step{
-			At:       units.Seconds(now),
+			At:       now,
 			Config:   tuple,
-			DoneFrac: 1 - remaining/float64(d),
+			DoneFrac: 1 - float64(remaining/d),
 			Added:    added,
 		})
 
 		// Execute the epoch: newly added nodes boot first.
 		u = capacityOf()
-		effEpoch := float64(pol.Epoch)
-		work := u * effEpoch
+		effEpoch := pol.Epoch
+		work := u.Over(effEpoch)
 		if added > 0 {
-			var addedCap float64
+			var addedCap units.Rate
 			// The nodes added this boundary are the first `added` in
 			// efficiency order with counts raised; approximate their
 			// capacity as the capacity delta of this boundary.
@@ -196,7 +196,7 @@ func Simulate(caps *model.Capacities, space *config.Space, d units.Instructions,
 			if addedCap < 0 {
 				addedCap = 0
 			}
-			work -= addedCap * float64(pol.Boot)
+			work -= addedCap.Over(pol.Boot)
 		}
 		epochTime := effEpoch
 		if work >= remaining {
@@ -207,44 +207,44 @@ func Simulate(caps *model.Capacities, space *config.Space, d units.Instructions,
 		} else {
 			remaining -= work
 		}
-		tr.TotalCost += units.USD(unitCostOf() / 3600 * epochTime)
+		tr.TotalCost += unitCostOf().PerSecond().Over(epochTime)
 		now += epochTime
 	}
-	tr.FinishTime = units.Seconds(now)
-	tr.Finished = remaining <= 0 && now <= float64(deadline)
+	tr.FinishTime = now
+	tr.Finished = remaining <= 0 && now <= deadline
 	return tr, nil
 }
 
 // prevCapacity reports the capacity of the configuration before this
 // boundary's additions (the previous step's tuple).
-func prevCapacity(w []float64, tr Trace) float64 {
+func prevCapacity(w []units.Rate, tr Trace) units.Rate {
 	if len(tr.Steps) < 2 {
 		return 0
 	}
 	prev := tr.Steps[len(tr.Steps)-2].Config
-	var u float64
+	var u units.Rate
 	for i := 0; i < prev.Len(); i++ {
-		u += float64(prev.Count(i)) * w[i]
+		u += units.Rate(prev.Count(i)) * w[i]
 	}
 	return u
 }
 
 // timeToFinish solves for the within-epoch completion time given that
 // freshly added capacity only contributes after boot.
-func timeToFinish(remaining, u float64, added int, w []float64, tr Trace, pol Policy) float64 {
+func timeToFinish(remaining units.Instructions, u units.Rate, added int, w []units.Rate, tr Trace, pol Policy) units.Seconds {
 	if added <= 0 {
-		return remaining / u
+		return units.Time(remaining, u)
 	}
 	uOld := prevCapacity(w, tr)
-	boot := float64(pol.Boot)
+	boot := pol.Boot
 	// Phase 1: only the old capacity runs.
-	if remaining <= uOld*boot {
+	if remaining <= uOld.Over(boot) {
 		if uOld <= 0 {
-			return boot + remaining/u
+			return boot + units.Time(remaining, u)
 		}
-		return remaining / uOld
+		return units.Time(remaining, uOld)
 	}
-	return boot + (remaining-uOld*boot)/u
+	return boot + units.Time(remaining-uOld.Over(boot), u)
 }
 
 // CompareStatic reports the autoscaler's cost premium over a static
@@ -253,5 +253,5 @@ func CompareStatic(tr Trace, static units.USD) float64 {
 	if static <= 0 {
 		return math.NaN()
 	}
-	return (float64(tr.TotalCost)/float64(static) - 1) * 100
+	return (float64(tr.TotalCost/static) - 1) * 100
 }

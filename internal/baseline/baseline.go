@@ -30,7 +30,7 @@ func GreedyMinCost(caps *model.Capacities, space *config.Space, d units.Instruct
 		return model.Prediction{}, false
 	}
 	uReq := float64(d) / float64(deadline)
-	w, cost := caps.NodeArrays()
+	w, cost := rawArrays(caps)
 	order := make([]int, len(w))
 	for i := range order {
 		order[i] = i
@@ -96,7 +96,7 @@ func BranchBoundMinCost(caps *model.Capacities, space *config.Space, d units.Ins
 	}
 	df := float64(d)
 	uReq := df / float64(deadline)
-	w, cost := caps.NodeArrays()
+	w, cost := rawArrays(caps)
 	m := len(w)
 
 	// bestEff[i]: the best capacity-per-dollar among types i..m-1 —
@@ -175,4 +175,19 @@ func Gap(heuristic, exact model.Prediction) float64 {
 		return 0
 	}
 	return (float64(heuristic.Cost)/float64(exact.Cost) - 1) * 100
+}
+
+// rawArrays unwraps the typed capacity/cost arrays into plain float64
+// slices: the search kernels here treat both axes as opaque objective
+// coordinates, and keeping their inner loops raw keeps them byte-
+// identical with the published comparisons.
+func rawArrays(caps *model.Capacities) (w, cost []float64) {
+	wT, costT := caps.NodeArrays()
+	w = make([]float64, len(wT))
+	cost = make([]float64, len(costT))
+	for i := range wT {
+		w[i] = float64(wT[i])
+		cost[i] = float64(costT[i])
+	}
+	return w, cost
 }

@@ -520,7 +520,7 @@ func (r *runner) runBSP() (units.Seconds, int) {
 		share := partitionProportional(plan.Elements, vcpus)
 		slowest = 0
 		for rk, elems := range share {
-			t := units.Time(units.Instructions(float64(elems)*float64(plan.InstrPerElement)), vcpus[rk].rate)
+			t := units.Time(units.Instructions(elems)*plan.InstrPerElement, vcpus[rk].rate)
 			if t > slowest {
 				slowest = t
 			}
@@ -662,7 +662,7 @@ func (r *runner) runBSPPlain() (units.Seconds, int) {
 	// The step's compute phase ends at the slowest rank.
 	var slowest units.Seconds
 	for rk, elems := range share {
-		t := units.Time(units.Instructions(float64(elems)*float64(plan.InstrPerElement)), vcpus[rk].rate)
+		t := units.Time(units.Instructions(elems)*plan.InstrPerElement, vcpus[rk].rate)
 		if t > slowest {
 			slowest = t
 		}
@@ -692,7 +692,7 @@ func (r *runner) runBSPPlain() (units.Seconds, int) {
 func partitionProportional(n int, vcpus []vcpuRef) []int {
 	var total float64
 	for _, v := range vcpus {
-		total += float64(v.rate)
+		total += float64(v.rate) //lint:allow unitsafe largest-remainder split needs raw proportional weights; a typed rewrite would reassociate the rounding
 	}
 	share := make([]int, len(vcpus))
 	type frac struct {
@@ -702,6 +702,7 @@ func partitionProportional(n int, vcpus []vcpuRef) []int {
 	fracs := make([]frac, len(vcpus))
 	assigned := 0
 	for i, v := range vcpus {
+		//lint:allow unitsafe largest-remainder split needs raw proportional weights; a typed rewrite would reassociate the rounding
 		exact := float64(n) * float64(v.rate) / total
 		share[i] = int(math.Floor(exact))
 		assigned += share[i]

@@ -67,17 +67,17 @@ func (e *Engine) SetBilling(b model.Billing) { e.billing = b }
 // Billing reports the engine's billing policy.
 func (e *Engine) Billing() model.Billing { return e.billing }
 
-// billCost prices a duration (seconds) at a unit cost ($/h) under the
-// engine's policy — the hot-loop form of model.Bill.
-func (e *Engine) billCost(T, cu float64) float64 {
+// billCost prices a duration at a unit cost under the engine's policy
+// — the hot-loop form of model.Bill.
+func (e *Engine) billCost(T units.Seconds, cu units.USDPerHour) units.USD {
 	if e.billing == model.PerHour {
-		h := math.Ceil(T / 3600)
+		h := units.Hours(math.Ceil(T.Hours()))
 		if h < 1 && T > 0 {
 			h = 1
 		}
-		return cu * h
+		return cu.ForHours(h)
 	}
-	return cu / 3600 * T
+	return cu.PerSecond().Over(T)
 }
 
 // Capacities returns the engine's capacity model.
@@ -108,18 +108,18 @@ type Constraints struct {
 	Budget   units.USD
 }
 
-func (c Constraints) deadlineOrInf() float64 {
+func (c Constraints) deadlineOrInf() units.Seconds {
 	if c.Deadline <= 0 {
-		return math.Inf(1)
+		return units.Seconds(math.Inf(1))
 	}
-	return float64(c.Deadline)
+	return c.Deadline
 }
 
-func (c Constraints) budgetOrInf() float64 {
+func (c Constraints) budgetOrInf() units.USD {
 	if c.Budget <= 0 {
-		return math.Inf(1)
+		return units.USD(math.Inf(1))
 	}
-	return float64(c.Budget)
+	return c.Budget
 }
 
 // FrontierPoint is one Pareto-optimal configuration.
@@ -144,7 +144,11 @@ type Analysis struct {
 }
 
 // CostSpan reports the cheapest and most expensive frontier costs and
-// their ratio (the paper reports spans of ~1.2–1.3×).
+// their ratio (the paper reports spans of ~1.2–1.3×). An empty frontier
+// reports (0, 0, 0). A frontier whose cheapest point costs $0 has no
+// meaningful ratio: an all-free frontier reports the flat span 1, and a
+// $0 cheapest point under a priced maximum reports the 0 sentinel
+// rather than ±Inf or NaN so callers can gate on it.
 func (a Analysis) CostSpan() (lo, hi units.USD, ratio float64) {
 	if len(a.Frontier) == 0 {
 		return 0, 0, 0
@@ -158,7 +162,15 @@ func (a Analysis) CostSpan() (lo, hi units.USD, ratio float64) {
 			hi = f.Cost
 		}
 	}
-	return lo, hi, float64(hi) / float64(lo)
+	switch {
+	case lo > 0:
+		ratio = float64(hi / lo)
+	case hi == 0:
+		ratio = 1
+	default:
+		ratio = 0
+	}
+	return lo, hi, ratio
 }
 
 // Options tune Analyze.
@@ -188,7 +200,6 @@ func (e *Engine) Analyze(p workload.Params, cons Constraints, opts Options) (Ana
 	}
 	deadline, budget := cons.deadlineOrInf(), cons.budgetOrInf()
 	w, nodeCost := e.caps.NodeArrays()
-	df := float64(d)
 
 	type shard struct {
 		stream   pareto.Stream2D
@@ -199,15 +210,15 @@ func (e *Engine) Analyze(p workload.Params, cons Constraints, opts Options) (Ana
 	epsMode := opts.EpsTime > 0 && opts.EpsCost > 0
 
 	e.space.ForEachParallel(workers, func(worker int, t config.Tuple) {
-		var u, cu float64
+		var u units.Rate
+		var cu units.USDPerHour
 		for i := 0; i < t.Len(); i++ {
 			if m := t.Count(i); m > 0 {
-				fm := float64(m)
-				u += fm * w[i]
-				cu += fm * nodeCost[i]
+				u += units.Rate(m) * w[i]
+				cu += units.USDPerHour(m) * nodeCost[i]
 			}
 		}
-		T := df / u
+		T := units.Time(d, u)
 		C := e.billCost(T, cu)
 		if T >= deadline || C >= budget {
 			return
@@ -218,9 +229,10 @@ func (e *Engine) Analyze(p workload.Params, cons Constraints, opts Options) (Ana
 		// The exact streaming frontier is also a sufficient candidate
 		// set for ε-filtering afterwards: an ε-box dominates another
 		// exactly when some exact-frontier point in it does.
-		sh.stream.Add(pareto.Point{X: T, Y: C, ID: idx})
+		//lint:allow unitsafe pareto.Point is the unit-agnostic frontier kernel; axes are re-typed on rebuild below
+		sh.stream.Add(pareto.Point{X: float64(T), Y: float64(C), ID: idx})
 		if opts.SampleEvery > 0 && sh.feasible%opts.SampleEvery == 0 && len(sh.sample) < sampleCap {
-			sh.sample = append(sh.sample, FrontierPoint{Config: t, Time: units.Seconds(T), Cost: units.USD(C)})
+			sh.sample = append(sh.sample, FrontierPoint{Config: t, Time: T, Cost: C})
 		}
 	})
 
@@ -284,28 +296,27 @@ func (e *Engine) MinCostExhaustive(p workload.Params, deadline units.Seconds) (m
 		return model.Prediction{}, false, err
 	}
 	w, nodeCost := e.caps.NodeArrays()
-	df := float64(d)
 	dl := Constraints{Deadline: deadline}.deadlineOrInf()
 	workers := runtime.GOMAXPROCS(0)
 	type best struct {
-		cost float64
+		cost units.USD
 		t    config.Tuple
 		ok   bool
 	}
 	bests := make([]best, workers)
 	for i := range bests {
-		bests[i].cost = math.Inf(1)
+		bests[i].cost = units.USD(math.Inf(1))
 	}
 	e.space.ForEachParallel(workers, func(worker int, t config.Tuple) {
-		var u, cu float64
+		var u units.Rate
+		var cu units.USDPerHour
 		for i := 0; i < t.Len(); i++ {
 			if m := t.Count(i); m > 0 {
-				fm := float64(m)
-				u += fm * w[i]
-				cu += fm * nodeCost[i]
+				u += units.Rate(m) * w[i]
+				cu += units.USDPerHour(m) * nodeCost[i]
 			}
 		}
-		T := df / u
+		T := units.Time(d, u)
 		if T >= dl {
 			return
 		}
@@ -316,7 +327,7 @@ func (e *Engine) MinCostExhaustive(p workload.Params, deadline units.Seconds) (m
 			b.cost, b.t, b.ok = C, t, true
 		}
 	})
-	out := best{cost: math.Inf(1)}
+	out := best{cost: units.USD(math.Inf(1))}
 	for _, b := range bests {
 		if !b.ok {
 			continue
@@ -346,7 +357,8 @@ const (
 // capacity and unit cost.
 type catCombo struct {
 	counts [3]uint8
-	u, cu  float64
+	u      units.Rate
+	cu     units.USDPerHour
 }
 
 // decomposedSearch merges per-category Pareto-pruned combinations. It
@@ -383,8 +395,8 @@ func (e *Engine) decomposedSearch(d units.Instructions, cons Constraints, obj ob
 			var cc catCombo
 			for k, i := range idx {
 				cc.counts[k] = uint8(counts[k])
-				cc.u += float64(counts[k]) * w[i]
-				cc.cu += float64(counts[k]) * nodeCost[i]
+				cc.u += units.Rate(counts[k]) * w[i]
+				cc.cu += units.USDPerHour(counts[k]) * nodeCost[i]
 			}
 			combos = append(combos, cc)
 			// Odometer.
@@ -405,23 +417,24 @@ func (e *Engine) decomposedSearch(d units.Instructions, cons Constraints, obj ob
 	}
 
 	// Merge across categories.
-	df := float64(d)
 	deadline, budget := cons.deadlineOrInf(), cons.budgetOrInf()
 	bestVal := math.Inf(1)
 	var bestTuple config.Tuple
 	found := false
-	consider := func(u, cu float64, mk func() config.Tuple) {
+	consider := func(u units.Rate, cu units.USDPerHour, mk func() config.Tuple) {
 		if u <= 0 {
 			return
 		}
-		T := df / u
+		T := units.Time(d, u)
 		C := e.billCost(T, cu)
 		if T >= deadline || C >= budget {
 			return
 		}
-		v := C
+		//lint:allow unitsafe objective value is cost ($) or time (s) by query kind; only compared against itself
+		v := float64(C)
 		if obj == objectiveTime {
-			v = T
+			//lint:allow unitsafe objective value is cost ($) or time (s) by query kind; only compared against itself
+			v = float64(T)
 		}
 		//lint:allow floateq exact argmin tie: ulp-equal costs resolve lexicographically by tuple, deterministic either way
 		if v < bestVal || (v == bestVal && found && lessTuple(mk(), bestTuple)) {
@@ -485,7 +498,7 @@ func pruneCombos(combos []catCombo) []catCombo {
 		return combos[i].u > combos[j].u
 	})
 	var out []catCombo
-	bestU := math.Inf(-1)
+	bestU := units.Rate(math.Inf(-1))
 	for _, c := range combos {
 		if c.u > bestU {
 			out = append(out, c)
@@ -499,7 +512,6 @@ func pruneCombos(combos []catCombo) []catCombo {
 // space, used when the catalog does not fit the decomposed merge.
 func (e *Engine) scanSearch(d units.Instructions, cons Constraints, obj objective) (model.Prediction, bool) {
 	w, nodeCost := e.caps.NodeArrays()
-	df := float64(d)
 	deadline, budget := cons.deadlineOrInf(), cons.budgetOrInf()
 	workers := runtime.GOMAXPROCS(0)
 	type best struct {
@@ -512,22 +524,24 @@ func (e *Engine) scanSearch(d units.Instructions, cons Constraints, obj objectiv
 		bests[i].val = math.Inf(1)
 	}
 	e.space.ForEachParallel(workers, func(worker int, t config.Tuple) {
-		var u, cu float64
+		var u units.Rate
+		var cu units.USDPerHour
 		for i := 0; i < t.Len(); i++ {
 			if m := t.Count(i); m > 0 {
-				fm := float64(m)
-				u += fm * w[i]
-				cu += fm * nodeCost[i]
+				u += units.Rate(m) * w[i]
+				cu += units.USDPerHour(m) * nodeCost[i]
 			}
 		}
-		T := df / u
+		T := units.Time(d, u)
 		C := e.billCost(T, cu)
 		if T >= deadline || C >= budget {
 			return
 		}
-		v := C
+		//lint:allow unitsafe objective value is cost ($) or time (s) by query kind; only compared against itself
+		v := float64(C)
 		if obj == objectiveTime {
-			v = T
+			//lint:allow unitsafe objective value is cost ($) or time (s) by query kind; only compared against itself
+			v = float64(T)
 		}
 		b := &bests[worker]
 		//lint:allow floateq exact argmin tie: ulp-equal costs resolve lexicographically by tuple, deterministic either way

@@ -321,6 +321,32 @@ func TestCostSpan(t *testing.T) {
 	}
 }
 
+func TestCostSpanZeroCheapest(t *testing.T) {
+	// A $0 cheapest point under a priced maximum must report the 0
+	// sentinel, never +Inf or NaN.
+	a := Analysis{Frontier: []FrontierPoint{{Cost: 0}, {Cost: 167}}}
+	lo, hi, ratio := a.CostSpan()
+	if lo != 0 || hi != 167 {
+		t.Fatalf("span = %v..%v, want 0..167", lo, hi)
+	}
+	if ratio != 0 {
+		t.Fatalf("zero-cheapest ratio = %v, want the 0 sentinel", ratio)
+	}
+
+	// An all-free frontier is flat: ratio 1, not 0/0 = NaN.
+	free := Analysis{Frontier: []FrontierPoint{{Cost: 0}, {Cost: 0}}}
+	if _, _, r := free.CostSpan(); r != 1 {
+		t.Fatalf("all-free ratio = %v, want 1", r)
+	}
+
+	// A negative cost is out of the model's domain but must still not
+	// produce ±Inf or NaN.
+	odd := Analysis{Frontier: []FrontierPoint{{Cost: -1}, {Cost: 167}}}
+	if _, _, r := odd.CostSpan(); math.IsInf(r, 0) || math.IsNaN(r) {
+		t.Fatalf("negative-cheapest ratio = %v, want finite", r)
+	}
+}
+
 func TestEpsilonFrontierOption(t *testing.T) {
 	eng := smallEngine(t, galaxy.App{}, 2)
 	p := workload.Params{N: 32768, A: 2000}

@@ -83,7 +83,13 @@ func Advise(caps *model.Capacities, space *config.Space, st State, ov Overheads)
 	ckptCost := caps.UnitCost(st.Current).Over(ov.Checkpoint)
 	budgetTime := float64(st.RemainingDeadline) - float64(ov.Checkpoint) - float64(ov.Restore)
 	df := float64(st.RemainingDemand)
-	w, nodeCost := caps.NodeArrays()
+	wT, costT := caps.NodeArrays()
+	w := make([]float64, len(wT))
+	nodeCost := make([]float64, len(costT))
+	for i := range wT {
+		w[i] = float64(wT[i])
+		nodeCost[i] = float64(costT[i])
+	}
 
 	workers := runtime.GOMAXPROCS(0)
 	type best struct {

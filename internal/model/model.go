@@ -108,14 +108,12 @@ func (c *Capacities) UnitCost(t config.Tuple) units.USDPerHour {
 }
 
 // NodeArrays exposes the per-node capacity (instructions/second) and
-// cost ($/hour) as plain float64 slices for hot enumeration loops.
-func (c *Capacities) NodeArrays() (w []float64, cost []float64) {
-	w = make([]float64, len(c.perNode))
-	cost = make([]float64, len(c.nodeCost))
-	for i := range c.perNode {
-		w[i] = float64(c.perNode[i])
-		cost[i] = float64(c.nodeCost[i])
-	}
+// cost ($/hour) as typed slices for hot enumeration loops. Unit-
+// agnostic kernels (baseline search, migration scoring) convert to raw
+// float64 locally.
+func (c *Capacities) NodeArrays() (w []units.Rate, cost []units.USDPerHour) {
+	w = append([]units.Rate(nil), c.perNode...)
+	cost = append([]units.USDPerHour(nil), c.nodeCost...)
 	return w, cost
 }
 
@@ -153,11 +151,11 @@ func (b Billing) String() string {
 func Bill(t units.Seconds, unit units.USDPerHour, b Billing) units.USD {
 	switch b {
 	case PerHour:
-		h := math.Ceil(t.Hours())
+		h := units.Hours(math.Ceil(t.Hours()))
 		if h < 1 && t > 0 {
 			h = 1
 		}
-		return units.USD(float64(unit) * h)
+		return unit.ForHours(h)
 	default:
 		return units.Cost(t, unit)
 	}
@@ -214,23 +212,23 @@ func DefaultComm() CommParams {
 // dispatch for master-worker plans. Independent plans are unchanged.
 func (c *Capacities) PredictWithComm(d units.Instructions, t config.Tuple, plan workload.Plan, comm CommParams) Prediction {
 	p := c.Predict(d, t)
-	var extra float64
+	var extra units.Seconds
 	switch plan.Kind {
 	case workload.BSP:
 		perStep := comm.LatencySec
 		if comm.BytesPerSec > 0 {
 			perStep += plan.CommBytesPerStep / comm.BytesPerSec
 		}
-		extra = float64(plan.Steps) * perStep
+		extra = units.Seconds(float64(plan.Steps) * perStep)
 	case workload.MasterWorker:
 		if comm.MasterGIPS > 0 {
-			extra = float64(plan.Tasks) * float64(plan.DispatchInstr) / (comm.MasterGIPS * 1e9)
+			extra = units.Time(units.Instructions(plan.Tasks)*plan.DispatchInstr, units.GIPS(comm.MasterGIPS))
 		}
 		if comm.BytesPerSec > 0 {
-			extra += float64(plan.Tasks) * plan.BytesPerTask / comm.BytesPerSec
+			extra += units.Seconds(float64(plan.Tasks) * plan.BytesPerTask / comm.BytesPerSec)
 		}
 	}
-	p.Time += units.Seconds(extra)
+	p.Time += extra
 	p.Cost = units.Cost(p.Time, p.UnitCost)
 	return p
 }

@@ -173,7 +173,7 @@ func TestNodeArrays(t *testing.T) {
 		t.Fatalf("array lengths %d/%d, want 9", len(w), len(cost))
 	}
 	for i := range w {
-		if w[i] != float64(c.W(i)) || cost[i] != float64(ec2.Oregon().Type(i).Price) {
+		if w[i] != c.W(i) || cost[i] != ec2.Oregon().Type(i).Price {
 			t.Fatalf("NodeArrays mismatch at %d", i)
 		}
 	}

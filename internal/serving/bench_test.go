@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/apps/galaxy"
 	"repro/internal/core"
-	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -17,8 +16,8 @@ import (
 func analyzeCompute(q Query) func(*core.Engine) ([]byte, error) {
 	return func(eng *core.Engine) ([]byte, error) {
 		an, err := eng.Analyze(workload.Params{N: q.N, A: q.A}, core.Constraints{
-			Deadline: units.FromHours(q.DeadlineHours),
-			Budget:   units.USD(q.BudgetUSD),
+			Deadline: q.DeadlineHours.Seconds(),
+			Budget:   q.BudgetUSD,
 		}, core.Options{})
 		if err != nil {
 			return nil, err

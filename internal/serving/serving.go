@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/telemetry"
+	"repro/internal/units"
 )
 
 // ErrOverloaded is returned when admission control rejects a request:
@@ -111,8 +112,8 @@ type Query struct {
 	Kind          string // "analyze", "mincost", "mintime", "maxaccuracy", "risk", ...
 	App           string
 	N, A          float64
-	DeadlineHours float64
-	BudgetUSD     float64
+	DeadlineHours units.Hours
+	BudgetUSD     units.USD
 	MaxFrontier   int
 
 	// Risk-query parameters (Kind "risk"); zero for the analytic kinds,
@@ -225,7 +226,7 @@ func (f *Frontdoor) key(q Query, eng *core.Engine) string {
 	b.WriteString(q.Kind)
 	b.WriteByte('|')
 	b.WriteString(q.App)
-	for _, v := range [5]float64{q.N, q.A, q.DeadlineHours, q.BudgetUSD, q.HazardPerHour} {
+	for _, v := range [5]float64{q.N, q.A, float64(q.DeadlineHours), float64(q.BudgetUSD), q.HazardPerHour} {
 		b.WriteByte('|')
 		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
 	}

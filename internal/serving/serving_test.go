@@ -13,7 +13,6 @@ import (
 	"repro/internal/apps/galaxy"
 	"repro/internal/core"
 	"repro/internal/telemetry"
-	"repro/internal/units"
 	"repro/internal/workload"
 )
 
@@ -342,7 +341,7 @@ func TestRealEngineThroughFrontdoor(t *testing.T) {
 	q := Query{Kind: "mincost", App: "galaxy", N: 65536, A: 8000, DeadlineHours: 24}
 	compute := func(eng *core.Engine) ([]byte, error) {
 		pred, feasible, err := eng.MinCostForDeadline(
-			workload.Params{N: q.N, A: q.A}, units.FromHours(q.DeadlineHours))
+			workload.Params{N: q.N, A: q.A}, q.DeadlineHours.Seconds())
 		if err != nil {
 			return nil, err
 		}

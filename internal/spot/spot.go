@@ -99,8 +99,10 @@ func NewMarket(cat *ec2.Catalog, params MarketParams, seed uint64) (*Market, err
 // Deterministic for a (seed, type, horizon) triple.
 func (m *Market) History(typeIdx int, horizon units.Seconds) []units.USDPerHour {
 	typ := m.catalog.Type(typeIdx)
+	//lint:allow unitsafe the price process is a raw stochastic walk around the on-demand level, not typed arithmetic
 	onDemand := float64(typ.Price)
-	steps := int(float64(horizon)/(m.params.StepMinutes*60)) + 1
+	step := units.Seconds(m.params.StepMinutes * 60)
+	steps := int(horizon/step) + 1
 	key := histKey{typeIdx, steps}
 	m.mu.Lock()
 	if h, ok := m.cache[key]; ok {
@@ -139,7 +141,7 @@ func (m *Market) Quantile(typeIdx int, horizon units.Seconds, q float64) units.U
 	h := m.History(typeIdx, horizon)
 	sorted := make([]float64, len(h))
 	for i, p := range h {
-		sorted[i] = float64(p)
+		sorted[i] = float64(p) //lint:allow unitsafe quantile kernel sorts raw float64; the result is re-typed on return
 	}
 	// Insertion-free selection via sort.
 	return units.USDPerHour(quantileSorted(sorted, q))
@@ -203,7 +205,7 @@ func (m *Market) InterruptionTrace(t config.Tuple, bidFactor float64, horizon un
 		if n == 0 {
 			continue
 		}
-		bid := units.USDPerHour(bidFactor * float64(m.catalog.Type(i).Price))
+		bid := units.USDPerHour(bidFactor) * m.catalog.Type(i).Price
 		h := m.History(i, horizon)
 		for s := range h {
 			if h[s] > bid {
@@ -257,11 +259,11 @@ func (e *Evaluator) Evaluate(d units.Instructions, t config.Tuple, deadline unit
 		return Plan{}, fmt.Errorf("spot: invalid evaluator (checkpoint %v, bid factor %v)", e.Checkpoint, e.BidFactor)
 	}
 	pred := e.Caps.Predict(d, t)
-	if math.IsInf(float64(pred.Time), 1) {
+	if pred.Time.IsInf() {
 		return Plan{}, fmt.Errorf("spot: configuration %v has no capacity", t)
 	}
 	horizon := pred.Time * 3
-	if deadline > 0 && units.Seconds(float64(deadline)*3) > horizon {
+	if deadline > 0 && deadline*3 > horizon {
 		horizon = deadline * 3
 	}
 
@@ -269,16 +271,17 @@ func (e *Evaluator) Evaluate(d units.Instructions, t config.Tuple, deadline unit
 	// Cluster-level interruption hazard: any type's interruption kills
 	// the step's progress back to the last checkpoint (gang-style MPI
 	// assumption — conservative for independent tasks).
-	var hazardPerHour, spotRate float64
+	var hazardPerHour float64
+	var spotRate units.USDPerHour
 	for i := 0; i < t.Len(); i++ {
 		n := t.Count(i)
 		if n == 0 {
 			continue
 		}
-		bid := units.USDPerHour(e.BidFactor * float64(cat.Type(i).Price))
+		bid := units.USDPerHour(e.BidFactor) * cat.Type(i).Price
 		hazardPerHour += float64(n) * e.Market.InterruptionRate(i, horizon, bid)
 		meanSpot := e.Market.Quantile(i, horizon, 0.5)
-		spotRate += float64(n) * float64(meanSpot)
+		spotRate += units.USDPerHour(n) * meanSpot
 	}
 
 	baseHours := pred.Time.Hours()
@@ -286,20 +289,20 @@ func (e *Evaluator) Evaluate(d units.Instructions, t config.Tuple, deadline unit
 	// Each interruption costs on average half a checkpoint interval of
 	// rework plus a restart delay.
 	const restartSec = 120
-	rework := interruptions * (float64(e.Checkpoint)/2 + restartSec)
-	expTime := pred.Time + units.Seconds(rework)
+	penalty := e.Checkpoint/2 + restartSec
+	rework := units.Seconds(interruptions) * penalty
+	expTime := pred.Time + rework
 
 	plan := Plan{
 		Config:           t,
 		BaseTime:         pred.Time,
 		ExpectedTime:     expTime,
 		OnDemandCost:     pred.Cost,
-		ExpectedSpotCost: units.USD(spotRate / 3600 * float64(expTime)),
+		ExpectedSpotCost: spotRate.PerSecond().Over(expTime),
 		Interruptions:    interruptions,
 	}
 	if deadline > 0 {
-		plan.DeadlineProb = deadlineProbability(float64(pred.Time), float64(deadline),
-			hazardPerHour/3600, float64(e.Checkpoint)/2+restartSec)
+		plan.DeadlineProb = deadlineProbability(pred.Time, deadline, hazardPerHour/3600, penalty)
 	} else {
 		plan.DeadlineProb = 1
 	}
@@ -313,7 +316,7 @@ func (e *Evaluator) Evaluate(d units.Instructions, t config.Tuple, deadline unit
 // Poisson CDF at k* with mean rate·base (exposure is approximated by
 // the uninterrupted execution time; rework extends it, so this is
 // slightly optimistic for tight deadlines).
-func deadlineProbability(base, deadline, ratePerSec, penalty float64) float64 {
+func deadlineProbability(base, deadline units.Seconds, ratePerSec float64, penalty units.Seconds) float64 {
 	if base > deadline {
 		return 0
 	}
@@ -322,7 +325,8 @@ func deadlineProbability(base, deadline, ratePerSec, penalty float64) float64 {
 	}
 	slack := deadline - base
 	kMax := int(slack / penalty)
-	lambda := ratePerSec * base
+	//lint:allow unitsafe the hazard is 1/s (no inverse-time unit type); exposure lambda = rate x time is dimensionless
+	lambda := ratePerSec * float64(base)
 	// Poisson CDF.
 	p := math.Exp(-lambda)
 	cdf := p
@@ -354,29 +358,31 @@ func (e *Evaluator) Recommend(d units.Instructions, candidates []config.Tuple,
 		return Recommendation{}, fmt.Errorf("spot: no candidate configurations")
 	}
 	var rec Recommendation
-	bestOD := math.Inf(1)
-	bestSpot := math.Inf(1)
+	bestOD := units.USD(math.Inf(1))
+	bestSpot := units.USD(math.Inf(1))
+	foundOD := false
 	foundSpot := false
 	for _, t := range candidates {
 		plan, err := e.Evaluate(d, t, deadline)
 		if err != nil {
 			return Recommendation{}, err
 		}
-		if float64(plan.BaseTime) < float64(deadline) && float64(plan.OnDemandCost) < bestOD {
-			bestOD = float64(plan.OnDemandCost)
+		if plan.BaseTime < deadline && plan.OnDemandCost < bestOD {
+			bestOD = plan.OnDemandCost
 			rec.OnDemand = plan
+			foundOD = true
 		}
-		if plan.DeadlineProb >= minConfidence && float64(plan.ExpectedSpotCost) < bestSpot {
-			bestSpot = float64(plan.ExpectedSpotCost)
+		if plan.DeadlineProb >= minConfidence && plan.ExpectedSpotCost < bestSpot {
+			bestSpot = plan.ExpectedSpotCost
 			rec.Spot = plan
 			foundSpot = true
 		}
 	}
-	if math.IsInf(bestOD, 1) {
+	if !foundOD {
 		return Recommendation{}, fmt.Errorf("spot: no candidate meets the deadline on-demand")
 	}
 	if foundSpot {
-		rec.SavingPct = (1 - bestSpot/bestOD) * 100
+		rec.SavingPct = (1 - float64(bestSpot/bestOD)) * 100
 		rec.UseSpot = rec.SavingPct > 0
 	}
 	return rec, nil

@@ -195,7 +195,7 @@ func TestDeadlineProbabilityBasics(t *testing.T) {
 func TestDeadlineProbabilityMonotoneProperty(t *testing.T) {
 	f := func(rate8 uint8, penalty8 uint8) bool {
 		rate := float64(rate8%100) / 1e5
-		penalty := float64(penalty8%50) + 1
+		penalty := units.Seconds(penalty8%50) + 1
 		p1 := deadlineProbability(10, 20, rate, penalty)
 		p2 := deadlineProbability(10, 40, rate, penalty)
 		return p2 >= p1-1e-12 && p1 >= 0 && p2 <= 1

@@ -16,7 +16,7 @@ import (
 )
 
 // Deadlines returns the paper's standard deadline ladder (hours).
-func Deadlines() []float64 { return []float64{6, 12, 24, 48, 72} }
+func Deadlines() []units.Hours { return []units.Hours{6, 12, 24, 48, 72} }
 
 // CensusResult is Figure 4's content for one application.
 type CensusResult struct {
@@ -38,7 +38,7 @@ func Census(eng *core.Engine, p workload.Params, deadline units.Seconds, budget 
 	}
 	res := CensusResult{Analysis: an}
 	if lo, hi, _ := an.CostSpan(); hi > 0 {
-		res.SavingPct = (1 - float64(lo)/float64(hi)) * 100
+		res.SavingPct = (1 - float64(lo/hi)) * 100
 	}
 	return res, nil
 }
@@ -47,7 +47,7 @@ func Census(eng *core.Engine, p workload.Params, deadline units.Seconds, budget 
 // one (value, deadline) pair and the configuration achieving it.
 type ScalePoint struct {
 	Value    float64 // problem size (Fig 5) or accuracy (Fig 6)
-	Deadline float64 // hours
+	Deadline units.Hours
 	Cost     units.USD
 	Time     units.Seconds
 	Config   string
@@ -59,7 +59,7 @@ type ScalingResult struct {
 	App       string
 	VaryName  string // "n", "s", "t", "f"
 	Fixed     workload.Params
-	Deadlines []float64
+	Deadlines []units.Hours
 	Values    []float64
 	// Points[d][v] corresponds to Deadlines[d] × Values[v].
 	Points [][]ScalePoint
@@ -69,7 +69,7 @@ type ScalingResult struct {
 // deadline ladder. byN selects whether values replace the problem size
 // (Figure 5) or the accuracy (Figure 6).
 func MinCostCurve(eng *core.Engine, fixed workload.Params, byN bool, varyName string,
-	values []float64, deadlinesHours []float64) (ScalingResult, error) {
+	values []float64, deadlinesHours []units.Hours) (ScalingResult, error) {
 	res := ScalingResult{
 		VaryName:  varyName,
 		Fixed:     fixed,
@@ -87,7 +87,7 @@ func MinCostCurve(eng *core.Engine, fixed workload.Params, byN bool, varyName st
 				p.A = v
 			}
 			pt := ScalePoint{Value: v, Deadline: dh}
-			pred, ok, err := eng.MinCostForDeadline(p, units.FromHours(dh))
+			pred, ok, err := eng.MinCostForDeadline(p, dh.Seconds())
 			if err != nil {
 				return ScalingResult{}, fmt.Errorf("sweep: %v at %vh: %w", p, dh, err)
 			}
@@ -122,6 +122,7 @@ func GradientJumps(row []ScalePoint, jumpFactor float64) []int {
 		if dv <= 0 {
 			continue
 		}
+		//lint:allow unitsafe slope is $ per swept unit (size or accuracy); no units type models the swept axis
 		slope := (float64(row[i].Cost) - float64(row[i-1].Cost)) / dv
 		if havePrev && prevSlope > 0 && slope > prevSlope*jumpFactor {
 			out = append(out, i)
@@ -134,7 +135,7 @@ func GradientJumps(row []ScalePoint, jumpFactor float64) []int {
 
 // TighteningPoint is one step of the Observation 3 study.
 type TighteningPoint struct {
-	DeadlineHours float64
+	DeadlineHours units.Hours
 	Cost          units.USD
 	Config        string
 	Feasible      bool
@@ -152,11 +153,11 @@ type TighteningResult struct {
 
 // Tightening computes minimum cost across a deadline ladder for a
 // fixed problem.
-func Tightening(eng *core.Engine, p workload.Params, deadlinesHours []float64) (TighteningResult, error) {
+func Tightening(eng *core.Engine, p workload.Params, deadlinesHours []units.Hours) (TighteningResult, error) {
 	var res TighteningResult
 	for _, dh := range deadlinesHours {
 		pt := TighteningPoint{DeadlineHours: dh}
-		pred, ok, err := eng.MinCostForDeadline(p, units.FromHours(dh))
+		pred, ok, err := eng.MinCostForDeadline(p, dh.Seconds())
 		if err != nil {
 			return TighteningResult{}, err
 		}
@@ -182,9 +183,9 @@ func Tightening(eng *core.Engine, p workload.Params, deadlinesHours []float64) (
 	}
 	if loosest >= 0 && tightest >= 0 && loosest != tightest {
 		lo, hi := res.Points[loosest], res.Points[tightest]
-		res.DeadlineCutPct = (1 - hi.DeadlineHours/lo.DeadlineHours) * 100
+		res.DeadlineCutPct = (1 - float64(hi.DeadlineHours/lo.DeadlineHours)) * 100
 		if lo.Cost > 0 {
-			res.CostRisePct = (float64(hi.Cost)/float64(lo.Cost) - 1) * 100
+			res.CostRisePct = (float64(hi.Cost/lo.Cost) - 1) * 100
 		}
 	}
 	return res, nil
@@ -196,15 +197,14 @@ func Tightening(eng *core.Engine, p workload.Params, deadlinesHours []float64) (
 // than resource demand.
 func CostDemandElasticity(eng *core.Engine, fixed workload.Params, byN bool, row []ScalePoint) ([]float64, error) {
 	var out []float64
-	demandAt := func(v float64) (float64, error) {
+	demandAt := func(v float64) (units.Instructions, error) {
 		p := fixed
 		if byN {
 			p.N = v
 		} else {
 			p.A = v
 		}
-		d, err := eng.Demand(p)
-		return float64(d), err
+		return eng.Demand(p)
 	}
 	for i := 1; i < len(row); i++ {
 		if !row[i].Feasible || !row[i-1].Feasible {
@@ -218,8 +218,8 @@ func CostDemandElasticity(eng *core.Engine, fixed workload.Params, byN bool, row
 		if err != nil {
 			return nil, err
 		}
-		dd := d1/d0 - 1
-		dc := float64(row[i].Cost)/float64(row[i-1].Cost) - 1
+		dd := float64(d1/d0) - 1
+		dc := float64(row[i].Cost/row[i-1].Cost) - 1
 		if dd > 1e-12 {
 			out = append(out, dc/dd)
 		}
@@ -266,6 +266,7 @@ func TradeSurface(eng *core.Engine, n float64, accuracies []float64,
 	objs := make([][]float64, len(all))
 	for i, p := range all {
 		// Negate accuracy: FrontierKD minimizes every objective.
+		//lint:allow unitsafe k-objective frontier is unit-agnostic; axes are (-accuracy, s, $)
 		objs[i] = []float64{-p.Accuracy, float64(p.Time), float64(p.Cost)}
 	}
 	keep := pareto.FrontierKD(objs)

@@ -67,7 +67,7 @@ func TestMinCostCurveGalaxyShape(t *testing.T) {
 	// n at fixed deadline; relaxing the deadline never raises cost.
 	eng := core.NewPaperEngine(galaxy.App{})
 	values := []float64{32768, 65536, 131072}
-	res, err := MinCostCurve(eng, workload.Params{A: 1000}, true, "n", values, []float64{24, 72})
+	res, err := MinCostCurve(eng, workload.Params{A: 1000}, true, "n", values, []units.Hours{24, 72})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestMinCostCurveSandLinear(t *testing.T) {
 	// Figure 5(b): sand's cost grows ~linearly with problem size.
 	eng := core.NewPaperEngine(sand.App{})
 	values := []float64{1024e6, 2048e6, 4096e6}
-	res, err := MinCostCurve(eng, workload.Params{A: 0.32}, true, "n", values, []float64{72})
+	res, err := MinCostCurve(eng, workload.Params{A: 0.32}, true, "n", values, []units.Hours{72})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestFig6GalaxySpillAnnotations(t *testing.T) {
 	// the spill.
 	eng := core.NewPaperEngine(galaxy.App{})
 	values := []float64{1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000}
-	res, err := MinCostCurve(eng, workload.Params{N: 65536}, false, "s", values, []float64{24})
+	res, err := MinCostCurve(eng, workload.Params{N: 65536}, false, "s", values, []units.Hours{24})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestTighteningObs3Galaxy(t *testing.T) {
 	// Observation 3 (galaxy(262144, 1000)): tightening 72h → 24h (a
 	// 67% cut) raises cost by well under 67%; the paper reports ~40%.
 	eng := core.NewPaperEngine(galaxy.App{})
-	res, err := Tightening(eng, workload.Params{N: 262144, A: 1000}, []float64{24, 48, 72})
+	res, err := Tightening(eng, workload.Params{N: 262144, A: 1000}, []units.Hours{24, 48, 72})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestTighteningObs3Galaxy(t *testing.T) {
 func TestTighteningObs3Sand(t *testing.T) {
 	// sand(8192M, 0.32): 48h → 24h (50% cut) costs ~+25% in the paper.
 	eng := core.NewPaperEngine(sand.App{})
-	res, err := Tightening(eng, workload.Params{N: 8192e6, A: 0.32}, []float64{24, 48})
+	res, err := Tightening(eng, workload.Params{N: 8192e6, A: 0.32}, []units.Hours{24, 48})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestTighteningInfeasibleRungs(t *testing.T) {
 	// An absurd problem at tiny deadlines: rungs must be marked
 	// infeasible rather than invented.
 	eng := core.NewPaperEngine(galaxy.App{})
-	res, err := Tightening(eng, workload.Params{N: 4194304, A: 100000}, []float64{1, 1000000})
+	res, err := Tightening(eng, workload.Params{N: 4194304, A: 100000}, []units.Hours{1, 1000000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestCostDemandElasticityObs2(t *testing.T) {
 	eng := core.NewPaperEngine(galaxy.App{})
 	values := []float64{1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000}
 	fixed := workload.Params{N: 65536}
-	res, err := MinCostCurve(eng, fixed, false, "s", values, []float64{24})
+	res, err := MinCostCurve(eng, fixed, false, "s", values, []units.Hours{24})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -46,8 +46,27 @@ type Seconds float64
 // Hours converts to hours, the unit Table IV and Figures 4-6 use.
 func (s Seconds) Hours() float64 { return float64(s) / 3600 }
 
+// InHours converts the duration to the typed hour unit.
+func (s Seconds) InHours() Hours { return Hours(float64(s) / 3600) }
+
+// IsInf reports whether the duration is +Inf, the sentinel Time returns
+// for an infeasible (zero-capacity) configuration.
+func (s Seconds) IsInf() bool { return math.IsInf(float64(s), 1) }
+
 // FromHours constructs a duration from hours.
 func FromHours(h float64) Seconds { return Seconds(h * 3600) }
+
+// Hours is a duration in hours, the unit deadlines are quoted in at the
+// API boundary (Table IV's deadline column). It deliberately has no
+// String method: request/response structs print it as a bare number.
+type Hours float64
+
+// Seconds converts the typed hour count to seconds.
+func (h Hours) Seconds() Seconds { return Seconds(float64(h) * 3600) }
+
+// Over returns the work completed by sustaining this rate for the
+// duration (Eq. 3's capacity integrated over time).
+func (r Rate) Over(d Seconds) Instructions { return Instructions(float64(r) * float64(d)) }
 
 func (s Seconds) String() string {
 	if s < 3600 {
@@ -65,13 +84,24 @@ func (u USD) String() string { return fmt.Sprintf("$%.2f", float64(u)) }
 // (c_i in Table I).
 type USDPerHour float64
 
-// PerSecond converts the hourly price to a per-second rate.
-func (p USDPerHour) PerSecond() float64 { return float64(p) / 3600 }
+// PerSecond converts the hourly price to a per-second price rate.
+func (p USDPerHour) PerSecond() USDPerSecond { return USDPerSecond(float64(p) / 3600) }
 
 // Over returns the cost of holding this price rate for the duration.
-func (p USDPerHour) Over(d Seconds) USD { return USD(p.PerSecond() * float64(d)) }
+func (p USDPerHour) Over(d Seconds) USD { return p.PerSecond().Over(d) }
+
+// ForHours returns the cost of holding this price rate for a whole
+// number of billed hours (the 2017-era per-hour billing granularity).
+func (p USDPerHour) ForHours(h Hours) USD { return USD(float64(p) * float64(h)) }
 
 func (p USDPerHour) String() string { return fmt.Sprintf("$%.3f/h", float64(p)) }
+
+// USDPerSecond is a price rate per second, the granularity per-second
+// billing models (and Eq. 5 applied to second-typed durations) use.
+type USDPerSecond float64
+
+// Over returns the cost of holding this price rate for the duration.
+func (p USDPerSecond) Over(d Seconds) USD { return USD(float64(p) * float64(d)) }
 
 // Time applies the paper's time model (Eq. 2): execution time is demand
 // divided by capacity. A zero capacity yields +Inf (the configuration can

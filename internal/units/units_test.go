@@ -30,6 +30,30 @@ func TestSecondsHours(t *testing.T) {
 	}
 }
 
+func TestHoursRoundTrip(t *testing.T) {
+	// FromHours ∘ Hours and Seconds ∘ InHours are exact inverses for
+	// representative values (×3600 and ÷3600 on the same bits).
+	for _, h := range []float64{0, 1, 24, 48, 72, 0.5} {
+		if got := FromHours(h).Hours(); got != h {
+			t.Errorf("FromHours(%v).Hours() = %v", h, got)
+		}
+		if got := Hours(h).Seconds().InHours(); got != Hours(h) {
+			t.Errorf("Hours(%v).Seconds().InHours() = %v", h, got)
+		}
+	}
+	if got := Seconds(5400).InHours(); got != 1.5 {
+		t.Fatalf("Seconds(5400).InHours() = %v, want 1.5", got)
+	}
+}
+
+func TestGIRoundTrip(t *testing.T) {
+	for _, b := range []float64{0, 1, 2.5, 8192} {
+		if got := GI(b).Billions(); got != b {
+			t.Errorf("GI(%v).Billions() = %v", b, got)
+		}
+	}
+}
+
 func TestTimeModel(t *testing.T) {
 	// 100 Ginstr at 10 GIPS takes 10 seconds (Eq. 2).
 	got := Time(GI(100), GIPS(10))
@@ -44,6 +68,69 @@ func TestTimeZeroCapacity(t *testing.T) {
 	}
 	if got := Time(GI(1), GIPS(-1)); !math.IsInf(float64(got), 1) {
 		t.Fatalf("Time with negative capacity = %v, want +Inf", got)
+	}
+}
+
+func TestSecondsIsInf(t *testing.T) {
+	if !Time(GI(1), 0).IsInf() {
+		t.Fatal("Time(GI(1), 0).IsInf() = false, want true")
+	}
+	if Seconds(math.Inf(-1)).IsInf() {
+		t.Fatal("-Inf reported as the +Inf infeasibility sentinel")
+	}
+	if Seconds(1).IsInf() {
+		t.Fatal("finite duration reported as +Inf")
+	}
+}
+
+func TestOverInfinities(t *testing.T) {
+	// A positive price rate held for the +Inf infeasibility sentinel
+	// costs +Inf; the Rate integral behaves the same.
+	if got := USDPerHour(1).Over(Seconds(math.Inf(1))); !math.IsInf(float64(got), 1) {
+		t.Fatalf("USDPerHour.Over(+Inf) = %v, want +Inf", got)
+	}
+	if got := USDPerSecond(1).Over(Seconds(math.Inf(1))); !math.IsInf(float64(got), 1) {
+		t.Fatalf("USDPerSecond.Over(+Inf) = %v, want +Inf", got)
+	}
+	if got := GIPS(1).Over(Seconds(math.Inf(1))); !math.IsInf(float64(got), 1) {
+		t.Fatalf("Rate.Over(+Inf) = %v, want +Inf", got)
+	}
+	if got := USDPerHour(1).Over(Seconds(math.Inf(-1))); !math.IsInf(float64(got), -1) {
+		t.Fatalf("USDPerHour.Over(-Inf) = %v, want -Inf", got)
+	}
+	// IEEE: 0 × Inf is NaN, not 0 — a free resource held forever is
+	// indeterminate, and the model must not mask that.
+	if got := USDPerHour(0).Over(Seconds(math.Inf(1))); !math.IsNaN(float64(got)) {
+		t.Fatalf("USDPerHour(0).Over(+Inf) = %v, want NaN", got)
+	}
+}
+
+func TestNaNPropagation(t *testing.T) {
+	nan := math.NaN()
+	if got := Hours(nan).Seconds(); !math.IsNaN(float64(got)) {
+		t.Fatalf("Hours(NaN).Seconds() = %v, want NaN", got)
+	}
+	if got := Seconds(nan).InHours(); !math.IsNaN(float64(got)) {
+		t.Fatalf("Seconds(NaN).InHours() = %v, want NaN", got)
+	}
+	if got := USDPerHour(nan).PerSecond(); !math.IsNaN(float64(got)) {
+		t.Fatalf("USDPerHour(NaN).PerSecond() = %v, want NaN", got)
+	}
+	if got := USDPerSecond(nan).Over(1); !math.IsNaN(float64(got)) {
+		t.Fatalf("USDPerSecond(NaN).Over(1) = %v, want NaN", got)
+	}
+	if got := USDPerHour(1).ForHours(Hours(nan)); !math.IsNaN(float64(got)) {
+		t.Fatalf("ForHours(NaN) = %v, want NaN", got)
+	}
+}
+
+func TestUSDPerSecondConsistency(t *testing.T) {
+	// PerSecond().Over(d) must equal Over(d) bit for bit: Over is
+	// defined through PerSecond.
+	p := USDPerHour(0.105)
+	d := FromHours(10)
+	if a, b := p.Over(d), p.PerSecond().Over(d); a != b {
+		t.Fatalf("Over(%v) = %v but PerSecond().Over = %v", d, a, b)
 	}
 }
 

@@ -71,7 +71,7 @@ func TestRegressionPaperSpill(t *testing.T) {
 
 func TestRegressionObs3(t *testing.T) {
 	engG := core.NewPaperEngine(galaxy.App{})
-	g, err := sweep.Tightening(engG, workload.Params{N: 262144, A: 1000}, []float64{24, 48, 72})
+	g, err := sweep.Tightening(engG, workload.Params{N: 262144, A: 1000}, []units.Hours{24, 48, 72})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestRegressionObs3(t *testing.T) {
 		t.Errorf("galaxy Obs3 rise = %.2f%%, want ~25.2%% (paper: 40%%)", g.CostRisePct)
 	}
 	engS := core.NewPaperEngine(sand.App{})
-	s, err := sweep.Tightening(engS, workload.Params{N: 8192e6, A: 0.32}, []float64{24, 48})
+	s, err := sweep.Tightening(engS, workload.Params{N: 8192e6, A: 0.32}, []units.Hours{24, 48})
 	if err != nil {
 		t.Fatal(err)
 	}
