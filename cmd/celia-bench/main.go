@@ -1,0 +1,116 @@
+// Command celia-bench measures the frontier-index speedup on the
+// paper's configuration space and emits a machine-readable summary,
+// so CI can archive per-commit numbers without asserting timings.
+//
+// Example:
+//
+//	celia-bench -out BENCH_core.json -benchtime 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/apps/galaxy"
+	"repro/internal/core"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+type benchRow struct {
+	Name    string  `json:"name"`
+	NsPerOp int64   `json:"ns_per_op"`
+	Ops     int     `json:"ops"`
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("celia-bench: ")
+	out := flag.String("out", "BENCH_core.json", "output path ('-' for stdout)")
+	iters := flag.Int("benchtime", 1, "iterations per benchmark")
+	flag.Parse()
+	if *iters < 1 {
+		log.Fatal("-benchtime must be >= 1")
+	}
+
+	p := workload.Params{N: 65536, A: 8000}
+	cons := core.Constraints{Deadline: units.FromHours(24), Budget: 350}
+	scanEng := core.NewPaperEngine(galaxy.App{})
+	idxEng := core.NewPaperEngine(galaxy.App{})
+	idxEng.SetUseIndex(true)
+
+	run := func(name string, fn func() error) benchRow {
+		start := time.Now()
+		for i := 0; i < *iters; i++ {
+			if err := fn(); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+		}
+		elapsed := time.Since(start)
+		return benchRow{
+			Name:    name,
+			NsPerOp: elapsed.Nanoseconds() / int64(*iters),
+			Ops:     *iters,
+		}
+	}
+
+	buildStart := time.Now()
+	if !idxEng.IndexActive() {
+		log.Fatal("frontier index did not build")
+	}
+	buildRow := benchRow{
+		Name:    "FrontierIndexBuildPaper",
+		NsPerOp: time.Since(buildStart).Nanoseconds(),
+		Ops:     1,
+	}
+
+	rows := []benchRow{
+		run("AnalyzeScanPaper", func() error {
+			_, err := scanEng.Analyze(p, cons, core.Options{})
+			return err
+		}),
+		run("AnalyzeIndexedPaper", func() error {
+			_, err := idxEng.Analyze(p, cons, core.Options{})
+			return err
+		}),
+		run("MinCostScanPaper", func() error {
+			_, ok, err := scanEng.MinCostExhaustive(p, cons.Deadline)
+			if err == nil && !ok {
+				return fmt.Errorf("infeasible")
+			}
+			return err
+		}),
+		run("MinCostIndexedPaper", func() error {
+			_, ok, err := idxEng.MinCostForDeadline(p, cons.Deadline)
+			if err == nil && !ok {
+				return fmt.Errorf("infeasible")
+			}
+			return err
+		}),
+	}
+	for i := 1; i < len(rows); i += 2 {
+		if rows[i].NsPerOp > 0 {
+			rows[i].Speedup = float64(rows[i-1].NsPerOp) / float64(rows[i].NsPerOp)
+		}
+	}
+	rows = append(rows, buildRow)
+
+	enc, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rows))
+}

@@ -54,6 +54,7 @@ func main() {
 		queue    = flag.Int("queue-depth", 0, "admitted requests waiting beyond the worker pool (0 = 4x max-concurrent, -1 = none)")
 		reqTO    = flag.Duration("request-timeout", 60*time.Second, "per-request deadline from admission to completion")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
+		index    = flag.Bool("index", true, "answer analytic queries from the frontier index (built lazily per engine; per-hour billing always scans)")
 	)
 	flag.Parse()
 
@@ -105,6 +106,7 @@ func main() {
 		MaxConcurrent:  *maxConc,
 		QueueDepth:     *queue,
 		RequestTimeout: *reqTO,
+		DisableIndex:   !*index,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -129,8 +131,8 @@ func main() {
 
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.ListenAndServe() }()
-	log.Printf("serving %d engines on %s (cache %d MiB, ttl %v, %d workers)",
-		len(engines), *addr, *cacheMB, *cacheTTL, *maxConc)
+	log.Printf("serving %d engines on %s (cache %d MiB, ttl %v, %d workers, index %v)",
+		len(engines), *addr, *cacheMB, *cacheTTL, *maxConc, *index)
 
 	select {
 	case err := <-done:

@@ -28,6 +28,10 @@
 //   - A panic inside a query computation is recovered at the serving
 //     boundary and reported as 500 with the envelope, never a crash.
 //   - Responses carry an X-Cache header (hit, miss, or coalesced).
+//   - Query responses carry an X-Index header: "on" when the mounted
+//     engine answers this kind of query from its built frontier index
+//     (byte-identical to the exhaustive scan), "off" for scan-backed
+//     answers, Monte-Carlo kinds, and before the lazy index build.
 package api
 
 import (
@@ -233,8 +237,23 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, q serving.Query, 
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", status.String())
+	w.Header().Set("X-Index", s.indexHeader(q))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
+}
+
+// indexHeader reports whether the answering engine holds a built
+// frontier index for this kind of query. IndexBuilt never triggers the
+// multi-second build, so cache hits stay pure memory reads; "on" means
+// the response either came from the index or is byte-identical to what
+// the index serves.
+func (s *Server) indexHeader(q serving.Query) string {
+	if serving.AnalyticKind(q.Kind) {
+		if eng, ok := s.fd.Engine(q.App); ok && eng.IndexBuilt() {
+			return "on"
+		}
+	}
+	return "off"
 }
 
 // writeError maps serving and engine errors to HTTP statuses: overload

@@ -18,12 +18,17 @@ import (
 	"repro/internal/workload"
 )
 
-func testEngines() map[string]*core.Engine {
-	return map[string]*core.Engine{
-		"galaxy": core.NewPaperEngine(galaxy.App{}),
-		"x264":   core.NewPaperEngine(x264.App{}),
-	}
+// sharedEngines is reused across tests: NewFrontdoor opts engines into
+// the frontier index, and sharing lets the whole package pay each lazy
+// index build once rather than once per test — the builds dominate the
+// suite under -race otherwise. Tests needing cold or scan-backed
+// engines construct their own (see TestOverloadReturns429).
+var sharedEngines = map[string]*core.Engine{
+	"galaxy": core.NewPaperEngine(galaxy.App{}),
+	"x264":   core.NewPaperEngine(x264.App{}),
 }
+
+func testEngines() map[string]*core.Engine { return sharedEngines }
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
@@ -105,8 +110,11 @@ func TestMinCostEndpoint(t *testing.T) {
 	if !resp.Feasible || resp.Best == nil {
 		t.Fatalf("response = %+v", resp)
 	}
-	// The paper's spill configuration.
-	want := []int{5, 5, 5, 3, 0, 0, 0, 0, 0}
+	// The exhaustive tie winner for the paper's spill scenario: the
+	// frontier index (certified against MinCostExhaustive) finds this
+	// family split one ulp cheaper than the decomposed search's
+	// [5 5 5 3 ...] — see the golden-index test in internal/core.
+	want := []int{5, 5, 5, 1, 1, 0, 0, 0, 0}
 	for i, c := range want {
 		if resp.Best.Config[i] != c {
 			t.Fatalf("config = %v, want %v", resp.Best.Config, want)
@@ -302,8 +310,13 @@ func TestCacheHitSecondRequest(t *testing.T) {
 // a census and asserts the next request is shed with 429 + Retry-After
 // instead of queueing.
 func TestOverloadReturns429(t *testing.T) {
-	fd, err := serving.NewFrontdoor(testEngines(), serving.Config{
-		MaxConcurrent: 1, QueueDepth: -1, CacheBytes: -1,
+	// Fresh scan-backed engines: the occupying census must stay slow to
+	// reliably hold the only slot, and the shared engines may already
+	// serve analyze from their index in milliseconds.
+	fd, err := serving.NewFrontdoor(map[string]*core.Engine{
+		"galaxy": core.NewPaperEngine(galaxy.App{}),
+	}, serving.Config{
+		MaxConcurrent: 1, QueueDepth: -1, CacheBytes: -1, DisableIndex: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -412,6 +425,10 @@ func TestRiskEndpoint(t *testing.T) {
 	if got := r2.Header.Get("X-Cache"); got != "hit" {
 		t.Fatalf("X-Cache = %q on repeat, want hit", got)
 	}
+	// Monte-Carlo kinds never touch the frontier index.
+	if got := r2.Header.Get("X-Index"); got != "off" {
+		t.Fatalf("X-Index = %q on a risk query, want off", got)
+	}
 	if got := fd.Metrics().Counter("risk.trials").Value(); got != 16 {
 		t.Fatalf("cache hit re-simulated: risk.trials = %d", got)
 	}
@@ -506,6 +523,52 @@ func TestReadyzFlipsWhileDraining(t *testing.T) {
 	s.SetDraining(false)
 	if code := get("/readyz"); code != http.StatusOK {
 		t.Fatalf("/readyz = %d after drain cleared", code)
+	}
+}
+
+// TestIndexHeader asserts the X-Index contract: analytic queries on an
+// index-opted engine answer "on" once the lazy build has run —
+// including on cache hits, which must not trigger a build — while a
+// DisableIndex frontdoor stays scan-backed and answers "off".
+func TestIndexHeader(t *testing.T) {
+	ts := newTestServer(t)
+	body := []byte(`{"app":"galaxy","n":65536,"a":8000,"deadline_hours":24}`)
+	post := func(url string) (idx, cache string) {
+		resp, err := http.Post(url+"/v1/mincost", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		return resp.Header.Get("X-Index"), resp.Header.Get("X-Cache")
+	}
+	if idx, _ := post(ts.URL); idx != "on" {
+		t.Fatalf("X-Index = %q after an indexed compute, want on", idx)
+	}
+	idx, cache := post(ts.URL)
+	if cache != "hit" || idx != "on" {
+		t.Fatalf("repeat: X-Cache = %q, X-Index = %q, want hit/on", cache, idx)
+	}
+
+	fd, err := serving.NewFrontdoor(map[string]*core.Engine{
+		"galaxy": core.NewPaperEngine(galaxy.App{}),
+	}, serving.Config{DisableIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanTS := httptest.NewServer(s)
+	t.Cleanup(scanTS.Close)
+	if idx, _ := post(scanTS.URL); idx != "off" {
+		t.Fatalf("X-Index = %q with the index disabled, want off", idx)
+	}
+	if got := fd.Metrics().Counter("serving.index.bypass").Value(); got < 1 {
+		t.Fatalf("serving.index.bypass = %d after a scan-backed compute", got)
 	}
 }
 

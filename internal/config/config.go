@@ -214,6 +214,17 @@ func (s *Space) ForEach(fn func(Tuple) bool) bool {
 // 0). fn is called concurrently; worker is the worker's id in
 // [0, workers) so callers can shard accumulators without locking.
 func (s *Space) ForEachParallel(workers int, fn func(worker int, t Tuple)) {
+	s.ForEachParallelIndexed(workers, func(worker int, _ uint64, t Tuple) {
+		fn(worker, t)
+	})
+}
+
+// ForEachParallelIndexed is ForEachParallel with each tuple's own
+// mixed-radix index passed to fn, sparing callers that need the index
+// (frontier IDs, tie-break ordering) one IndexOf re-encode per tuple.
+// Each worker's chunk is a contiguous, ascending index range; chunk
+// boundaries depend only on (Size, workers), never on scheduling.
+func (s *Space) ForEachParallelIndexed(workers int, fn func(worker int, k uint64, t Tuple)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -237,7 +248,7 @@ func (s *Space) ForEachParallel(workers int, fn func(worker int, t Tuple)) {
 				return // empty chunk (size < workers, guarded above)
 			}
 			for k := lo; k < hi; k++ {
-				fn(w, t)
+				fn(w, k, t)
 				// Advance the odometer in place: cheaper than
 				// re-decoding every index.
 				i := 0

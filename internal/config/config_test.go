@@ -2,6 +2,7 @@ package config
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -295,5 +296,36 @@ func TestForEachWithZeroLimitType(t *testing.T) {
 	})
 	if count != s.Size() {
 		t.Fatalf("visited %d, want %d", count, s.Size())
+	}
+}
+
+func TestForEachParallelIndexed(t *testing.T) {
+	s, err := NewSpace([]int{3, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 7, 64} {
+		var mu sync.Mutex
+		seen := make(map[uint64]Tuple)
+		s.ForEachParallelIndexed(workers, func(worker int, k uint64, tp Tuple) {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := seen[k]; dup {
+				t.Errorf("workers=%d: index %d visited twice", workers, k)
+			}
+			seen[k] = tp
+		})
+		if uint64(len(seen)) != s.Size() {
+			t.Fatalf("workers=%d: visited %d, want %d", workers, len(seen), s.Size())
+		}
+		for k, tp := range seen {
+			want, err := s.AtIndex(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tp != want {
+				t.Fatalf("workers=%d: index %d yielded %v, want %v", workers, k, tp, want)
+			}
+		}
 	}
 }

@@ -28,6 +28,8 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/config"
 	"repro/internal/demand"
@@ -45,6 +47,16 @@ type Engine struct {
 	space   *config.Space
 	domain  workload.Domain
 	billing model.Billing
+
+	// Frontier-index state (see index.go): opt-in via SetUseIndex,
+	// built lazily at most once, nil when the build overflowed.
+	// idxReady flips after the build completes so observers (response
+	// headers, telemetry) can check state without triggering the
+	// multi-second build themselves.
+	useIndex bool
+	idxOnce  sync.Once
+	idx      *FrontierIndex
+	idxReady atomic.Bool
 }
 
 // NewEngine validates and builds an engine. The space's arity must
@@ -182,14 +194,64 @@ type Options struct {
 	SampleCap   int     // max sample size (default 4096)
 }
 
-// Analyze runs Algorithm 1 over the entire space in parallel and
-// Pareto-filters the feasible set. It never stores the feasible set:
-// per-worker streaming frontiers are merged at the end.
+// Analyze runs Algorithm 1 over the entire space and Pareto-filters the
+// feasible set. Under per-second billing, an engine opted into the
+// frontier index (SetUseIndex) answers sampling-free censuses from the
+// precomputed pair table instead of re-walking the space; the two paths
+// produce byte-identical Analysis values (certified in index_test.go).
 func (e *Engine) Analyze(p workload.Params, cons Constraints, opts Options) (Analysis, error) {
 	d, err := e.Demand(p)
 	if err != nil {
 		return Analysis{}, err
 	}
+	an := Analysis{
+		Params:      p,
+		Demand:      d,
+		Constraints: cons,
+		Total:       e.space.Size(),
+	}
+	var front []pareto.Point
+	if idx := e.indexFor(); idx != nil && opts.SampleEvery == 0 {
+		// Sampling still needs the per-configuration walk: the index
+		// aggregates away the individual feasible points.
+		an.Feasible, front = idx.census(e, d, cons)
+	} else {
+		front = e.scanCensus(&an, d, cons, opts)
+	}
+	// A one-sided ε is honored per axis; the zero axis stays exact.
+	if opts.EpsTime > 0 || opts.EpsCost > 0 {
+		front = pareto.EpsilonFrontier2D(front, opts.EpsTime, opts.EpsCost)
+	}
+	an.Frontier = make([]FrontierPoint, len(front))
+	for i, pt := range front {
+		tuple, err := e.space.AtIndex(pt.ID)
+		if err != nil {
+			return Analysis{}, fmt.Errorf("core: frontier index %d: %w", pt.ID, err)
+		}
+		an.Frontier[i] = FrontierPoint{Config: tuple, Time: units.Seconds(pt.X), Cost: units.USD(pt.Y)}
+	}
+	// Deterministic (time, cost, tuple) order: a bare time key left
+	// equal-time points in worker-merge order, so the output varied
+	// with Options.Workers. Sample membership still depends on the
+	// worker sharding — each shard keeps its own every-k-th feasible
+	// point — only the order of whatever was kept is pinned here.
+	sort.SliceStable(an.Sample, func(i, j int) bool {
+		a, b := an.Sample[i], an.Sample[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Cost != b.Cost {
+			return a.Cost < b.Cost
+		}
+		return lessTupleFast(a.Config, b.Config)
+	})
+	return an, nil
+}
+
+// scanCensus is Analyze's exhaustive path: a parallel streaming scan of
+// the whole space that never stores the feasible set. It fills the
+// feasible count and sample in an and returns the merged frontier.
+func (e *Engine) scanCensus(an *Analysis, d units.Instructions, cons Constraints, opts Options) []pareto.Point {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -207,9 +269,8 @@ func (e *Engine) Analyze(p workload.Params, cons Constraints, opts Options) (Ana
 		sample   []FrontierPoint
 	}
 	shards := make([]shard, workers)
-	epsMode := opts.EpsTime > 0 && opts.EpsCost > 0
 
-	e.space.ForEachParallel(workers, func(worker int, t config.Tuple) {
+	e.space.ForEachParallelIndexed(workers, func(worker int, idx uint64, t config.Tuple) {
 		var u units.Rate
 		var cu units.USDPerHour
 		for i := 0; i < t.Len(); i++ {
@@ -225,54 +286,45 @@ func (e *Engine) Analyze(p workload.Params, cons Constraints, opts Options) (Ana
 		}
 		sh := &shards[worker]
 		sh.feasible++
-		idx, _ := e.space.IndexOf(t)
 		// The exact streaming frontier is also a sufficient candidate
 		// set for ε-filtering afterwards: an ε-box dominates another
 		// exactly when some exact-frontier point in it does.
-		//lint:allow unitsafe pareto.Point is the unit-agnostic frontier kernel; axes are re-typed on rebuild below
+		//lint:allow unitsafe pareto.Point is the unit-agnostic frontier kernel; axes are re-typed on rebuild above
 		sh.stream.Add(pareto.Point{X: float64(T), Y: float64(C), ID: idx})
 		if opts.SampleEvery > 0 && sh.feasible%opts.SampleEvery == 0 && len(sh.sample) < sampleCap {
 			sh.sample = append(sh.sample, FrontierPoint{Config: t, Time: T, Cost: C})
 		}
 	})
 
-	an := Analysis{
-		Params:      p,
-		Demand:      d,
-		Constraints: cons,
-		Total:       e.space.Size(),
-	}
 	var merged pareto.Stream2D
 	for i := range shards {
 		an.Feasible += shards[i].feasible
 		merged.Merge(&shards[i].stream)
 		an.Sample = append(an.Sample, shards[i].sample...)
 	}
-	front := merged.Frontier()
-	if epsMode {
-		front = pareto.EpsilonFrontier2D(front, opts.EpsTime, opts.EpsCost)
+	return merged.Frontier()
+}
+
+// searchBest routes a single-objective query to the frontier index
+// when it is active (per-second billing, opted in, built) and to the
+// decomposed search otherwise.
+func (e *Engine) searchBest(d units.Instructions, cons Constraints, obj objective) (model.Prediction, bool) {
+	if idx := e.indexFor(); idx != nil {
+		return idx.minSearch(e, d, cons, obj)
 	}
-	an.Frontier = make([]FrontierPoint, len(front))
-	for i, pt := range front {
-		tuple, err := e.space.AtIndex(pt.ID)
-		if err != nil {
-			return Analysis{}, fmt.Errorf("core: frontier index %d: %w", pt.ID, err)
-		}
-		an.Frontier[i] = FrontierPoint{Config: tuple, Time: units.Seconds(pt.X), Cost: units.USD(pt.Y)}
-	}
-	sort.Slice(an.Sample, func(i, j int) bool { return an.Sample[i].Time < an.Sample[j].Time })
-	return an, nil
+	return e.decomposedSearch(d, cons, obj)
 }
 
 // MinCostForDeadline finds the cheapest configuration whose predicted
-// time satisfies the deadline, using the decomposed search. The second
-// return is false when no configuration can meet the deadline.
+// time satisfies the deadline, from the frontier index when active and
+// the decomposed search otherwise. The second return is false when no
+// configuration can meet the deadline.
 func (e *Engine) MinCostForDeadline(p workload.Params, deadline units.Seconds) (model.Prediction, bool, error) {
 	d, err := e.Demand(p)
 	if err != nil {
 		return model.Prediction{}, false, err
 	}
-	best, ok := e.decomposedSearch(d, Constraints{Deadline: deadline}, objectiveCost)
+	best, ok := e.searchBest(d, Constraints{Deadline: deadline}, objectiveCost)
 	return best, ok, nil
 }
 
@@ -283,7 +335,7 @@ func (e *Engine) MinTimeForBudget(p workload.Params, budget units.USD) (model.Pr
 	if err != nil {
 		return model.Prediction{}, false, err
 	}
-	best, ok := e.decomposedSearch(d, Constraints{Budget: budget}, objectiveTime)
+	best, ok := e.searchBest(d, Constraints{Budget: budget}, objectiveTime)
 	return best, ok, nil
 }
 
@@ -578,7 +630,7 @@ func (e *Engine) MaxAccuracy(n float64, cons Constraints, tol float64) (workload
 		if err != nil {
 			return model.Prediction{}, false
 		}
-		pred, ok := e.decomposedSearch(d, cons, objectiveCost)
+		pred, ok := e.searchBest(d, cons, objectiveCost)
 		return pred, ok
 	}
 	pred, ok := check(lo)

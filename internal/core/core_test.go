@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/apps/galaxy"
@@ -364,6 +365,73 @@ func TestEpsilonFrontierOption(t *testing.T) {
 	}
 	if len(coarse.Frontier) == 0 {
 		t.Fatal("ε-frontier empty")
+	}
+}
+
+func TestEpsilonFrontierSingleAxisOptions(t *testing.T) {
+	// A one-sided ε must coarsen its axis while the other stays exact.
+	// The option gate used to require both epsilons to be positive, so
+	// a single-axis request silently returned the exact frontier.
+	eng := smallEngine(t, galaxy.App{}, 2)
+	p := workload.Params{N: 32768, A: 2000}
+	cons := Constraints{Deadline: units.FromHours(48), Budget: 500}
+	exact, err := eng.Analyze(p, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"time-only", Options{EpsTime: 3600}},
+		{"cost-only", Options{EpsCost: 5}},
+	} {
+		coarse, err := eng.Analyze(p, cons, tc.opts)
+		if err != nil {
+			t.Fatal(tc.name, err)
+		}
+		if len(coarse.Frontier) == 0 || len(coarse.Frontier) >= len(exact.Frontier) {
+			t.Errorf("%s ε-frontier = %d points, want a non-empty strict coarsening of %d",
+				tc.name, len(coarse.Frontier), len(exact.Frontier))
+		}
+	}
+}
+
+func TestAnalyzeSampleOrderIndependentOfWorkers(t *testing.T) {
+	// With SampleEvery=1 and an unhit cap every feasible point is
+	// sampled regardless of sharding, so the sorted sample must be
+	// identical across worker counts. The sort used to key on time
+	// alone, leaving equal-time points in worker-merge order.
+	eng := smallEngine(t, galaxy.App{}, 2)
+	p := workload.Params{N: 32768, A: 2000}
+	cons := Constraints{Deadline: units.FromHours(48), Budget: 500}
+	opts := Options{SampleEvery: 1, SampleCap: 30000}
+
+	opts.Workers = 1
+	one, err := eng.Analyze(p, cons, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 7
+	seven, err := eng.Analyze(p, cons, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Sample) == 0 || uint64(len(one.Sample)) != one.Feasible {
+		t.Fatalf("sample holds %d of %d feasible points; the cap bit and the test lost its footing",
+			len(one.Sample), one.Feasible)
+	}
+	ties := 0
+	for i := 1; i < len(one.Sample); i++ {
+		if one.Sample[i].Time == one.Sample[i-1].Time {
+			ties++
+		}
+	}
+	if ties == 0 {
+		t.Fatal("no equal-time samples; the ordering regression cannot bite here")
+	}
+	if !reflect.DeepEqual(one.Sample, seven.Sample) {
+		t.Fatalf("sample order varies with Options.Workers (%d ties present)", ties)
 	}
 }
 

@@ -1,0 +1,496 @@
+// The demand-invariant frontier index. Under per-second billing
+// (Eq. 5 verbatim) a configuration's predictions are
+//
+//	T = D/U          (Eq. 2)
+//	C = (c_u/3600)·T (Eq. 5/6)
+//
+// so for two configurations p, q with U_p ≥ U_q and c_u,p ≤ c_u,q,
+// monotonicity of IEEE-754 correctly-rounded division and
+// multiplication gives fl(D/U_p) ≤ fl(D/U_q) and fl(s_p·T_p) ≤
+// fl(s_q·T_q) for every demand D — domination in the
+// (capacity ↑, unit cost ↓) plane implies floating-point (time, cost)
+// domination for every query. The Pareto staircase of the distinct
+// (U, c_u) pairs is therefore a demand-invariant candidate superset of
+// every per-query frontier, and one scan of the space answers all of
+// them. Per-hour billing breaks this: ceil(T) makes cost a step
+// function of demand, so which configuration wins depends on where T
+// lands relative to hour boundaries, and every per-hour query falls
+// back to the exhaustive scan (see DESIGN.md §9).
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/model"
+	"repro/internal/pareto"
+	"repro/internal/units"
+)
+
+// maxIndexPairs caps the distinct (U, c_u) pair table. A catalog whose
+// capacities and prices never collide would make the "index" as large
+// as the space itself; past this cap the build aborts and every query
+// keeps using the scan. The paper's catalog compresses 10,077,695
+// configurations to 657,394 pairs (15×) and a 118-entry staircase.
+// A variable only so the overflow path is testable without a
+// multi-million-configuration catalog.
+var maxIndexPairs = int64(4 << 20)
+
+// idxPair aggregates every configuration sharing one exact
+// (capacity, unit cost) value pair. Exact duplicates are common in real
+// catalogs — within a family, k small nodes and k/2 double-size nodes
+// produce bit-identical sums — so each pair carries everything the tie
+// breaks need: the population count, the smallest configuration index
+// (Stream2D keeps the first-inserted point on exact frontier ties, and
+// the scan inserts in ascending index order), and the lessTuple-minimal
+// member (the argmin queries break value ties lexicographically).
+type idxPair struct {
+	u       units.Rate
+	cu      units.USDPerHour
+	count   uint64
+	minIdx  uint64
+	lessMin config.Tuple
+}
+
+// idxSpan is one run of pairs sharing an exact capacity U, as
+// [start, end) offsets into the (U asc, c_u asc)-sorted pair table.
+// Within a span every pair predicts the same time, so feasibility and
+// cost ordering reduce to a binary search on c_u.
+type idxSpan struct {
+	u          units.Rate
+	start, end int
+}
+
+// stairStep is one staircase entry: the span's cheapest pair, kept only
+// when its unit cost undercuts every higher-capacity span.
+type stairStep struct {
+	pairIdx    int
+	start, end int // owning span bounds, for in-span tie resolution
+}
+
+// FrontierIndex is the precomputed demand-invariant view of one
+// engine's configuration space. Build once with the engine's exact
+// per-configuration arithmetic, then answer any per-second-billing
+// query in O(|staircase| + spans·log) instead of O(S) model
+// evaluations. Immutable after construction; safe for concurrent use.
+type FrontierIndex struct {
+	pairs []idxPair
+	spans []idxSpan
+	// prefix[i] is the configuration count of pairs[:i], so a
+	// cost-feasible prefix of a span counts in O(1) after the search.
+	prefix []uint64
+	// spanLess[i] is the lessTuple-minimal member of pairs[start..i]
+	// within i's span (running minimum, reset at each span start), and
+	// spanMinIdx[i] the minimal configuration index over the same
+	// prefix. Both resolve value ties, whose achievers are always a
+	// cost-ordered prefix of one or more capacity spans: distinct exact
+	// (U, c_u) pairs — typically ULP-apart accumulations of a
+	// mathematically identical configuration family — can round to
+	// bit-equal (time, cost) under a particular demand, and the scan
+	// breaks such ties by configuration order, so the index must
+	// aggregate over the whole rounding-collapse class, not just the
+	// staircase pair that represents it.
+	spanLess   []config.Tuple
+	spanMinIdx []uint64
+	// stair is the (capacity ↑, unit cost ↓) Pareto staircase in
+	// descending-capacity order.
+	stair     []stairStep
+	total     uint64
+	buildWall time.Duration
+}
+
+// IndexStats summarizes a built index for telemetry and logs.
+type IndexStats struct {
+	Pairs     int   // distinct exact (U, c_u) pairs
+	Spans     int   // distinct exact capacities
+	Staircase int   // demand-invariant frontier candidates
+	BuildMS   int64 // wall-clock build time
+}
+
+// Stats reports the index's shape.
+func (x *FrontierIndex) Stats() IndexStats {
+	return IndexStats{
+		Pairs:     len(x.pairs),
+		Spans:     len(x.spans),
+		Staircase: len(x.stair),
+		BuildMS:   x.buildWall.Milliseconds(),
+	}
+}
+
+// appendTupleString appends t.String()'s exact bytes without the
+// fmt/join allocations: '[', decimal counts, ',' separators, ']'.
+func appendTupleString(buf []byte, t config.Tuple) []byte {
+	buf = append(buf, '[')
+	for i := 0; i < t.Len(); i++ {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		c := t.Count(i)
+		if c >= 100 {
+			buf = append(buf, byte('0'+c/100))
+			c %= 100
+			buf = append(buf, byte('0'+c/10), byte('0'+c%10))
+		} else if c >= 10 {
+			buf = append(buf, byte('0'+c/10), byte('0'+c%10))
+		} else {
+			buf = append(buf, byte('0'+c))
+		}
+	}
+	return append(buf, ']')
+}
+
+// lessTupleFast is lessTuple without the two string allocations; the
+// index build calls it once per duplicate-pair configuration (~10M
+// times on the paper space). Equivalence to lessTuple is property-
+// tested in index_test.go.
+func lessTupleFast(a, b config.Tuple) bool {
+	var ba, bb [4*config.MaxTypes + 2]byte
+	return bytes.Compare(appendTupleString(ba[:0], a), appendTupleString(bb[:0], b)) < 0
+}
+
+// buildFrontierIndex scans the whole space once, aggregating exact
+// (U, c_u) pairs, and derives the span table, prefix counts, running
+// tie-break minima, and the staircase. Returns nil when the pair table
+// exceeds maxIndexPairs (the catalog does not compress).
+func buildFrontierIndex(e *Engine) *FrontierIndex {
+	start := time.Now()
+	w, nodeCost := e.caps.NodeArrays()
+	workers := runtime.GOMAXPROCS(0)
+
+	type pairKey struct {
+		u  units.Rate
+		cu units.USDPerHour
+	}
+	shards := make([]map[pairKey]*idxPair, workers)
+	for i := range shards {
+		shards[i] = make(map[pairKey]*idxPair, 1<<12)
+	}
+	var distinct atomic.Int64
+	var aborted atomic.Bool
+	e.space.ForEachParallelIndexed(workers, func(worker int, k uint64, t config.Tuple) {
+		if aborted.Load() {
+			return
+		}
+		var u units.Rate
+		var cu units.USDPerHour
+		for i := 0; i < t.Len(); i++ {
+			if m := t.Count(i); m > 0 {
+				u += units.Rate(m) * w[i]
+				cu += units.USDPerHour(m) * nodeCost[i]
+			}
+		}
+		sh := shards[worker]
+		key := pairKey{u, cu}
+		if agg, ok := sh[key]; ok {
+			agg.count++
+			if lessTupleFast(t, agg.lessMin) {
+				agg.lessMin = t
+			}
+			return
+		}
+		// Chunks walk ascending indices, so the first sighting in a
+		// shard is that shard's minimal index for the pair.
+		sh[key] = &idxPair{u: u, cu: cu, count: 1, minIdx: k, lessMin: t}
+		if distinct.Add(1) > maxIndexPairs {
+			aborted.Store(true)
+		}
+	})
+	if aborted.Load() {
+		return nil
+	}
+
+	merged := shards[0]
+	for _, sh := range shards[1:] {
+		for key, agg := range sh {
+			if cur, ok := merged[key]; ok {
+				cur.count += agg.count
+				if agg.minIdx < cur.minIdx {
+					cur.minIdx = agg.minIdx
+				}
+				if lessTupleFast(agg.lessMin, cur.lessMin) {
+					cur.lessMin = agg.lessMin
+				}
+			} else {
+				merged[key] = agg
+			}
+		}
+	}
+	x := &FrontierIndex{
+		pairs: make([]idxPair, 0, len(merged)),
+		total: e.space.Size(),
+	}
+	for _, agg := range merged {
+		//lint:allow nodeterm pairs are fully sorted below by their unique (u, cu) map key, so output order is total
+		x.pairs = append(x.pairs, *agg)
+	}
+	sort.Slice(x.pairs, func(i, j int) bool {
+		if x.pairs[i].u != x.pairs[j].u {
+			return x.pairs[i].u < x.pairs[j].u
+		}
+		return x.pairs[i].cu < x.pairs[j].cu
+	})
+
+	x.prefix = make([]uint64, len(x.pairs)+1)
+	x.spanLess = make([]config.Tuple, len(x.pairs))
+	x.spanMinIdx = make([]uint64, len(x.pairs))
+	for i := range x.pairs {
+		x.prefix[i+1] = x.prefix[i] + x.pairs[i].count
+	}
+	for i := 0; i < len(x.pairs); {
+		j := i + 1
+		//lint:allow floateq span grouping needs exact capacity identity: equal floats predict bit-equal times
+		for j < len(x.pairs) && x.pairs[j].u == x.pairs[i].u {
+			j++
+		}
+		x.spans = append(x.spans, idxSpan{u: x.pairs[i].u, start: i, end: j})
+		run := x.pairs[i].lessMin
+		runIdx := x.pairs[i].minIdx
+		x.spanLess[i] = run
+		x.spanMinIdx[i] = runIdx
+		for k := i + 1; k < j; k++ {
+			if lessTupleFast(x.pairs[k].lessMin, run) {
+				run = x.pairs[k].lessMin
+			}
+			if x.pairs[k].minIdx < runIdx {
+				runIdx = x.pairs[k].minIdx
+			}
+			x.spanLess[k] = run
+			x.spanMinIdx[k] = runIdx
+		}
+		i = j
+	}
+
+	// Staircase: walk spans from the highest capacity down; a span's
+	// cheapest pair survives only when it strictly undercuts every
+	// higher-capacity span (otherwise some pair with no less capacity
+	// and no more cost dominates the whole span).
+	bestCu := units.USDPerHour(0)
+	haveBest := false
+	for si := len(x.spans) - 1; si >= 0; si-- {
+		sp := x.spans[si]
+		if cheapest := x.pairs[sp.start].cu; !haveBest || cheapest < bestCu {
+			x.stair = append(x.stair, stairStep{pairIdx: sp.start, start: sp.start, end: sp.end})
+			bestCu, haveBest = cheapest, true
+		}
+	}
+	x.buildWall = time.Since(start)
+	return x
+}
+
+// spanRange returns the half-open range of span indices whose exact
+// capacity predicts exactly T under demand d: predicted time is
+// non-increasing in capacity (IEEE division is monotone), so the range
+// is contiguous in the capacity-sorted span table. Distinct exact
+// capacities ULP apart can round to the same T — the rounding-collapse
+// class the scan's ties run over — so the range may hold several spans.
+func (x *FrontierIndex) spanRange(d units.Instructions, T units.Seconds) (lo, hi int) {
+	lo = sort.Search(len(x.spans), func(i int) bool {
+		return units.Time(d, x.spans[i].u) <= T
+	})
+	hi = sort.Search(len(x.spans), func(i int) bool {
+		return units.Time(d, x.spans[i].u) < T
+	})
+	return lo, hi
+}
+
+// census answers Analyze's aggregate questions from the index: the
+// exact feasible count and the streaming frontier, both produced with
+// the same float operations and the same insertion order as the scan.
+func (x *FrontierIndex) census(e *Engine, d units.Instructions, cons Constraints) (uint64, []pareto.Point) {
+	deadline, budget := cons.deadlineOrInf(), cons.budgetOrInf()
+
+	// Predicted time is non-increasing in capacity (IEEE division is
+	// monotone), so the time-feasible spans are a suffix of the
+	// capacity-sorted span table; within a span cost is non-decreasing
+	// in c_u, so the budget-feasible pairs are a prefix of the span.
+	lo := sort.Search(len(x.spans), func(i int) bool {
+		return units.Time(d, x.spans[i].u) < deadline
+	})
+	var feasible uint64
+	for si := lo; si < len(x.spans); si++ {
+		sp := x.spans[si]
+		T := units.Time(d, sp.u)
+		n := sp.end - sp.start
+		b := sort.Search(n, func(i int) bool {
+			return e.billCost(T, x.pairs[sp.start+i].cu) >= budget
+		})
+		feasible += x.prefix[sp.start+b] - x.prefix[sp.start]
+	}
+
+	// The staircase is a superset of every per-query frontier's
+	// (time, cost) values (see the package comment's monotonicity
+	// argument), so streaming it reproduces the scan's frontier values.
+	var stream pareto.Stream2D
+	for _, st := range x.stair {
+		pr := &x.pairs[st.pairIdx]
+		T := units.Time(d, pr.u)
+		C := e.billCost(T, pr.cu)
+		if T >= deadline || C >= budget {
+			continue
+		}
+		//lint:allow unitsafe pareto.Point is the unit-agnostic frontier kernel; axes are re-typed on rebuild by the caller
+		stream.Add(pareto.Point{X: float64(T), Y: float64(C), ID: pr.minIdx})
+	}
+	front := stream.Frontier()
+
+	// The scan's frontier IDs are the minimal configuration index over
+	// every configuration that rounds to exactly the point's (T, C) —
+	// its Stream2D sees configurations in ascending-index order and
+	// keeps the first on exact value ties — so each staircase
+	// representative's ID is widened to its rounding-collapse class:
+	// every span predicting exactly T, restricted to the pairs costing
+	// exactly C. Those pairs are a prefix of each such span (cost is
+	// non-decreasing in c_u, and a cheaper pair in an equal-T span would
+	// have knocked the point off the frontier), so the precomputed
+	// prefix minima answer each span in one search.
+	for fi := range front {
+		T, C := units.Seconds(front[fi].X), units.USD(front[fi].Y)
+		lo, hi := x.spanRange(d, T)
+		best := front[fi].ID
+		for si := lo; si < hi; si++ {
+			sp := x.spans[si]
+			ub := sort.Search(sp.end-sp.start, func(i int) bool {
+				return e.billCost(T, x.pairs[sp.start+i].cu) > C
+			})
+			if ub > 0 && x.spanMinIdx[sp.start+ub-1] < best {
+				best = x.spanMinIdx[sp.start+ub-1]
+			}
+		}
+		front[fi].ID = best
+	}
+	return feasible, front
+}
+
+// minSearch answers the argmin queries from the index with the scan's
+// exact semantics: minimal objective under both constraints, ties
+// broken by the lexicographically least tuple.
+func (x *FrontierIndex) minSearch(e *Engine, d units.Instructions, cons Constraints, obj objective) (model.Prediction, bool) {
+	deadline, budget := cons.deadlineOrInf(), cons.budgetOrInf()
+	if obj == objectiveTime {
+		// Minimal time = maximal capacity: walk the staircase from the
+		// top. The first feasible step carries the optimal time — any
+		// skipped pair with more capacity is dominated by an already-
+		// rejected step whose time and cost it can only match or
+		// exceed. The scan breaks time ties by the lexicographically
+		// least tuple over every feasible achiever, so the winner is
+		// gathered from the budget-feasible prefix of every span that
+		// predicts exactly the winning time (the collapse class), not
+		// just the step's own span.
+		for _, st := range x.stair {
+			pr := &x.pairs[st.pairIdx]
+			T := units.Time(d, pr.u)
+			C := e.billCost(T, pr.cu)
+			if T >= deadline || C >= budget {
+				continue
+			}
+			lo, hi := x.spanRange(d, T)
+			var bestTuple config.Tuple
+			have := false
+			for si := lo; si < hi; si++ {
+				sp := x.spans[si]
+				b := sort.Search(sp.end-sp.start, func(i int) bool {
+					return e.billCost(T, x.pairs[sp.start+i].cu) >= budget
+				})
+				if b == 0 {
+					continue
+				}
+				if cand := x.spanLess[sp.start+b-1]; !have || lessTupleFast(cand, bestTuple) {
+					bestTuple, have = cand, true
+				}
+			}
+			return e.caps.PredictBilled(d, bestTuple, e.billing), true
+		}
+		return model.Prediction{}, false
+	}
+	// Minimal cost: the staircase holds the optimal value — every
+	// time-feasible pair is weakly dominated by a time-feasible step
+	// costing no more — but the scan's tie-break runs over every
+	// achiever, so a second pass gathers the lexicographically least
+	// tuple from the exact-cost prefix of every time-feasible span
+	// (no time-feasible pair costs less than the optimum, so the
+	// achievers are exactly each span's cost-ordered prefix at it).
+	bestC := units.USD(0)
+	found := false
+	for _, st := range x.stair {
+		pr := &x.pairs[st.pairIdx]
+		T := units.Time(d, pr.u)
+		C := e.billCost(T, pr.cu)
+		if T >= deadline || C >= budget {
+			continue
+		}
+		if !found || C < bestC {
+			bestC, found = C, true
+		}
+	}
+	if !found {
+		return model.Prediction{}, false
+	}
+	lo := sort.Search(len(x.spans), func(i int) bool {
+		return units.Time(d, x.spans[i].u) < deadline
+	})
+	var bestTuple config.Tuple
+	have := false
+	for si := lo; si < len(x.spans); si++ {
+		sp := x.spans[si]
+		T := units.Time(d, sp.u)
+		ub := sort.Search(sp.end-sp.start, func(i int) bool {
+			return e.billCost(T, x.pairs[sp.start+i].cu) > bestC
+		})
+		if ub == 0 {
+			continue
+		}
+		if cand := x.spanLess[sp.start+ub-1]; !have || lessTupleFast(cand, bestTuple) {
+			bestTuple, have = cand, true
+		}
+	}
+	return e.caps.PredictBilled(d, bestTuple, e.billing), true
+}
+
+// SetUseIndex opts the engine in (or out) of the frontier index. The
+// index is built lazily on the first routed query and reused by every
+// later one. Not safe to flip concurrently with queries: set it during
+// engine assembly, before serving.
+func (e *Engine) SetUseIndex(on bool) { e.useIndex = on }
+
+// UseIndex reports whether the engine is opted into the frontier index.
+func (e *Engine) UseIndex() bool { return e.useIndex }
+
+// indexFor returns the index when this query may be answered from it:
+// the engine opted in, billing is per-second (per-hour ceil breaks
+// demand invariance), and the build did not overflow maxIndexPairs.
+func (e *Engine) indexFor() *FrontierIndex {
+	if !e.useIndex || e.billing == model.PerHour {
+		return nil
+	}
+	e.idxOnce.Do(func() {
+		e.idx = buildFrontierIndex(e)
+		e.idxReady.Store(e.idx != nil)
+	})
+	return e.idx
+}
+
+// IndexActive reports whether queries are currently answered from the
+// frontier index, building it if the engine opted in and it does not
+// exist yet.
+func (e *Engine) IndexActive() bool { return e.indexFor() != nil }
+
+// FrontierIndex exposes the engine's index (building it on first use);
+// ok is false when the engine is opted out, billing is per-hour, or the
+// catalog did not compress under maxIndexPairs.
+func (e *Engine) FrontierIndex() (*FrontierIndex, bool) {
+	idx := e.indexFor()
+	return idx, idx != nil
+}
+
+// IndexBuilt reports whether queries are currently routed to an
+// already-built index, without triggering the build: response headers
+// and telemetry probe this on paths (cache hits, per-hour engines)
+// that must not pay the build cost. The atomic load orders the idx
+// pointer read after the build's completing store.
+func (e *Engine) IndexBuilt() bool {
+	return e.useIndex && e.billing != model.PerHour && e.idxReady.Load()
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/apps/galaxy"
+	"repro/internal/apps/sand"
+	"repro/internal/config"
+	"repro/internal/model"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// indexedEngine is smallEngine opted into the frontier index.
+func indexedEngine(t *testing.T, app workload.App, maxNodes int) *Engine {
+	t.Helper()
+	eng := smallEngine(t, app, maxNodes)
+	eng.SetUseIndex(true)
+	return eng
+}
+
+// requireSameAnalysis asserts byte-identical Analysis values: deep
+// equality of the structs and equality of their JSON encodings (the
+// form the serving layer caches and returns).
+func requireSameAnalysis(t *testing.T, label string, idx, scan Analysis) {
+	t.Helper()
+	if !reflect.DeepEqual(idx, scan) {
+		t.Fatalf("%s: indexed Analysis differs from scan:\nindexed: %+v\nscan:    %+v", label, idx, scan)
+	}
+	bi, err := json.Marshal(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := json.Marshal(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bi, bs) {
+		t.Fatalf("%s: JSON encodings differ:\n%s\n%s", label, bi, bs)
+	}
+}
+
+func TestLessTupleFastMatchesLessTuple(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	randTuple := func() config.Tuple {
+		arity := 1 + rng.Intn(12)
+		counts := make([]int, arity)
+		for i := range counts {
+			// Bias toward multi-digit counts: the string order of
+			// "[1,10]" vs "[1,2]" is where a naive numeric comparison
+			// would diverge from lessTuple.
+			counts[i] = rng.Intn(256)
+		}
+		tp, err := config.NewTuple(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tp
+	}
+	for trial := 0; trial < 20000; trial++ {
+		a, b := randTuple(), randTuple()
+		if trial%5 == 0 {
+			b = a // exercise the equal case
+		}
+		if got, want := lessTupleFast(a, b), lessTuple(a, b); got != want {
+			t.Fatalf("lessTupleFast(%v, %v) = %v, lessTuple = %v", a, b, got, want)
+		}
+		if got, want := lessTupleFast(b, a), lessTuple(b, a); got != want {
+			t.Fatalf("lessTupleFast(%v, %v) = %v, lessTuple = %v", b, a, got, want)
+		}
+	}
+	// The documented divergence trap: "[1,10,...]" sorts before
+	// "[1,2,...]" because ',' < '2' byte-wise.
+	a := config.MustTuple(1, 10)
+	b := config.MustTuple(1, 2)
+	if !lessTupleFast(a, b) || !lessTuple(a, b) {
+		t.Fatalf("string order of %v vs %v not preserved", a, b)
+	}
+}
+
+func TestIndexedAnalyzeMatchesScanSmall(t *testing.T) {
+	scanEng := smallEngine(t, galaxy.App{}, 2)
+	idxEng := indexedEngine(t, galaxy.App{}, 2)
+	if !idxEng.IndexActive() {
+		t.Fatal("index not active on a per-second engine that opted in")
+	}
+	p := workload.Params{N: 32768, A: 2000}
+	cases := []struct {
+		label string
+		cons  Constraints
+	}{
+		{"both", Constraints{Deadline: units.FromHours(24), Budget: 200}},
+		{"deadline-only", Constraints{Deadline: units.FromHours(24)}},
+		{"budget-only", Constraints{Budget: 150}},
+		{"unconstrained", Constraints{}},
+		{"infeasible", Constraints{Deadline: 1, Budget: 0.001}},
+		{"tight-budget", Constraints{Deadline: units.FromHours(48), Budget: 40}},
+	}
+	for _, c := range cases {
+		scan, err := scanEng.Analyze(p, c.cons, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := idxEng.Analyze(p, c.cons, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameAnalysis(t, c.label, idx, scan)
+	}
+}
+
+func TestIndexedArgminMatchesExhaustiveSmall(t *testing.T) {
+	scanEng := smallEngine(t, galaxy.App{}, 2)
+	idxEng := indexedEngine(t, galaxy.App{}, 2)
+	p := workload.Params{N: 32768, A: 2000}
+	d, err := scanEng.Demand(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, deadline := range []units.Seconds{units.FromHours(6), units.FromHours(24), units.FromHours(72), 0} {
+		for _, budget := range []units.USD{30, 100, 500, 0} {
+			label := fmt.Sprintf("deadline=%v budget=%v", deadline, budget)
+			cons := Constraints{Deadline: deadline, Budget: budget}
+			for _, obj := range []objective{objectiveCost, objectiveTime} {
+				want, okW := scanEng.scanSearch(d, cons, obj)
+				idx, ok := idxEng.FrontierIndex()
+				if !ok {
+					t.Fatal("no index")
+				}
+				got, okG := idx.minSearch(idxEng, d, cons, obj)
+				if okW != okG {
+					t.Fatalf("%s obj=%d: ok %v vs scan %v", label, obj, okG, okW)
+				}
+				if okW && !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s obj=%d: indexed %+v != scan %+v", label, obj, got, want)
+				}
+			}
+		}
+	}
+	// The public entry points, including the exhaustive argmin used to
+	// certify Decomposed (identical tuple, not just identical cost).
+	for _, deadline := range []units.Seconds{units.FromHours(12), units.FromHours(24)} {
+		gotP, okG, err := idxEng.MinCostForDeadline(p, deadline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantP, okW, err := scanEng.MinCostExhaustive(p, deadline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okG != okW || !reflect.DeepEqual(gotP, wantP) {
+			t.Fatalf("MinCostForDeadline(%v): indexed %+v/%v != exhaustive %+v/%v",
+				deadline, gotP, okG, wantP, okW)
+		}
+	}
+}
+
+func TestIndexedMaxAccuracyMatchesScanSmall(t *testing.T) {
+	scanEng := smallEngine(t, galaxy.App{}, 2)
+	idxEng := indexedEngine(t, galaxy.App{}, 2)
+	cons := Constraints{Deadline: units.FromHours(24), Budget: 60}
+	pS, predS, okS, err := scanEng.MaxAccuracy(32768, cons, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pI, predI, okI, err := idxEng.MaxAccuracy(32768, cons, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okS != okI || pS != pI || !reflect.DeepEqual(predS, predI) {
+		t.Fatalf("MaxAccuracy: indexed (%+v, %+v, %v) != scan (%+v, %+v, %v)",
+			pI, predI, okI, pS, predS, okS)
+	}
+}
+
+func TestIndexedEpsilonMatchesScanSmall(t *testing.T) {
+	scanEng := smallEngine(t, galaxy.App{}, 2)
+	idxEng := indexedEngine(t, galaxy.App{}, 2)
+	p := workload.Params{N: 32768, A: 2000}
+	cons := Constraints{Deadline: units.FromHours(48), Budget: 500}
+	for _, opts := range []Options{
+		{EpsTime: 3600, EpsCost: 5},
+		{EpsTime: 3600},
+		{EpsCost: 5},
+	} {
+		scan, err := scanEng.Analyze(p, cons, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := idxEng.Analyze(p, cons, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameAnalysis(t, fmt.Sprintf("eps=%v/%v", opts.EpsTime, opts.EpsCost), idx, scan)
+	}
+}
+
+func TestIndexedSamplingForcesScan(t *testing.T) {
+	// Sampling needs the per-configuration walk, so an indexed engine
+	// must produce exactly what the scan produces, sample included.
+	scanEng := smallEngine(t, galaxy.App{}, 2)
+	idxEng := indexedEngine(t, galaxy.App{}, 2)
+	p := workload.Params{N: 32768, A: 2000}
+	cons := Constraints{Deadline: units.FromHours(48), Budget: 500}
+	opts := Options{Workers: 4, SampleEvery: 10, SampleCap: 50}
+	scan, err := scanEng.Analyze(p, cons, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := idxEng.Analyze(p, cons, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Sample) == 0 {
+		t.Fatal("sampling returned nothing through an indexed engine")
+	}
+	requireSameAnalysis(t, "sampled", idx, scan)
+}
+
+func TestIndexPerHourBillingFallsBack(t *testing.T) {
+	eng := indexedEngine(t, galaxy.App{}, 2)
+	if !eng.IndexActive() {
+		t.Fatal("per-second index inactive")
+	}
+	eng.SetBilling(model.PerHour)
+	if eng.IndexActive() {
+		t.Fatal("index active under per-hour billing: ceil breaks demand invariance")
+	}
+	if _, ok := eng.FrontierIndex(); ok {
+		t.Fatal("FrontierIndex handed out under per-hour billing")
+	}
+	// Queries keep answering, from the scan, and match the exhaustive
+	// per-hour argmin exactly.
+	p := workload.Params{N: 32768, A: 2000}
+	got, okG, err := eng.MinCostForDeadline(p, units.FromHours(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanEng := smallEngine(t, galaxy.App{}, 2)
+	scanEng.SetBilling(model.PerHour)
+	want, okW, err := scanEng.MinCostExhaustive(p, units.FromHours(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okG != okW || !reflect.DeepEqual(got, want) {
+		t.Fatalf("per-hour fallback: %+v/%v != exhaustive %+v/%v", got, okG, want, okW)
+	}
+	// Switching back to per-second re-activates the already-built index.
+	eng.SetBilling(model.PerSecond)
+	if !eng.IndexActive() {
+		t.Fatal("index did not reactivate under per-second billing")
+	}
+}
+
+func TestIndexOverflowGuardFallsBack(t *testing.T) {
+	old := maxIndexPairs
+	maxIndexPairs = 8
+	defer func() { maxIndexPairs = old }()
+	eng := smallEngine(t, galaxy.App{}, 1)
+	eng.SetUseIndex(true)
+	if eng.IndexActive() {
+		t.Fatal("index built past the pair cap")
+	}
+	// Queries still answer, via the scan.
+	scanEng := smallEngine(t, galaxy.App{}, 1)
+	p := workload.Params{N: 32768, A: 1000}
+	cons := Constraints{Deadline: units.FromHours(24), Budget: 500}
+	scan, err := scanEng.Analyze(p, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := eng.Analyze(p, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameAnalysis(t, "overflow", idx, scan)
+}
+
+func TestIndexGoldenPaperSpace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-space census in -short mode")
+	}
+	// The golden certification: on the paper's full 10,077,695-
+	// configuration space, the indexed census must reproduce the
+	// exhaustive census byte for byte, and the index's shape must match
+	// the recorded compression (EXPERIMENTS.md pins the census values).
+	scanEng := NewPaperEngine(galaxy.App{})
+	idxEng := NewPaperEngine(galaxy.App{})
+	idxEng.SetUseIndex(true)
+
+	idx, ok := idxEng.FrontierIndex()
+	if !ok {
+		t.Fatal("paper engine refused to build the index")
+	}
+	stats := idx.Stats()
+	if stats.Pairs != 657394 {
+		t.Errorf("galaxy distinct (U, c_u) pairs = %d, want 657394", stats.Pairs)
+	}
+	if stats.Staircase != 118 {
+		t.Errorf("galaxy staircase = %d entries, want 118", stats.Staircase)
+	}
+
+	p := workload.Params{N: 65536, A: 8000}
+	cons := Constraints{Deadline: units.FromHours(24), Budget: 350}
+	scan, err := scanEng.Analyze(p, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := idxEng.Analyze(p, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameAnalysis(t, "galaxy", got, scan)
+	if got.Feasible != 7916146 || len(got.Frontier) != 77 {
+		t.Errorf("galaxy census = %d feasible, %d frontier; want 7916146, 77",
+			got.Feasible, len(got.Frontier))
+	}
+
+	// The paper's annotated spill point via the index. The exhaustive
+	// scan's winner is [5,5,5,1,1,0,0,0,0]: within the type-3/type-4
+	// instance family (exact 2× vCPU/price scaling) the two spellings
+	// are the same machine mix, but the float accumulation of the
+	// (1,1) split rounds one ulp cheaper, so it is the true float
+	// argmin. The decomposed path prunes it inside its category table
+	// and lands on [5,5,5,3,0,0,0,0,0] one ulp above — a pre-existing
+	// ulp-level divergence of the decomposed path, not an index
+	// regression; the index certifies against the exhaustive scan.
+	pred, okP, err := idxEng.MinCostForDeadline(p, units.FromHours(24))
+	if err != nil || !okP {
+		t.Fatal(okP, err)
+	}
+	if pred.Config.String() != "[5,5,5,1,1,0,0,0,0]" {
+		t.Errorf("indexed spill config = %s, want [5,5,5,1,1,0,0,0,0]", pred.Config)
+	}
+	exh, okE, err := scanEng.MinCostExhaustive(p, units.FromHours(24))
+	if err != nil || !okE {
+		t.Fatal(okE, err)
+	}
+	if !reflect.DeepEqual(pred, exh) {
+		t.Errorf("indexed mincost %+v != exhaustive %+v", pred, exh)
+	}
+	dec, okD, err := scanEng.MinCostForDeadline(p, units.FromHours(24))
+	if err != nil || !okD {
+		t.Fatal(okD, err)
+	}
+	if dec.Config.String() != "[5,5,5,3,0,0,0,0,0]" || dec.Cost <= pred.Cost {
+		t.Errorf("decomposed pick %s at $%v changed; the documented ulp gap to the index's $%v no longer holds",
+			dec.Config, dec.Cost, pred.Cost)
+	}
+}
+
+func TestIndexGoldenPaperSpaceSand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-space census in -short mode")
+	}
+	scanEng := NewPaperEngine(sand.App{})
+	idxEng := NewPaperEngine(sand.App{})
+	idxEng.SetUseIndex(true)
+	p := workload.Params{N: 8192e6, A: 0.32}
+	cons := Constraints{Deadline: units.FromHours(24), Budget: 350}
+	scan, err := scanEng.Analyze(p, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := idxEng.Analyze(p, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameAnalysis(t, "sand", got, scan)
+	if got.Feasible != 543966 || len(got.Frontier) != 51 {
+		t.Errorf("sand census = %d feasible, %d frontier; want 543966, 51",
+			got.Feasible, len(got.Frontier))
+	}
+}

@@ -64,28 +64,44 @@ func Frontier2D(pts []Point) []Point {
 // EpsilonFrontier2D applies pareto.py's ε-nondomination sort: the
 // objective space is gridded into ε-boxes; a box dominates another box
 // exactly when its coordinates dominate, and within a surviving box the
-// point nearest the box's lower-left corner is kept. ε values must be
-// positive.
+// point nearest the box's lower-left corner is kept.
+//
+// Each ε is per-axis: a zero ε leaves that axis ungridded (box
+// coordinate = exact objective value, contributing nothing to the
+// corner distance), so callers can coarsen one objective while staying
+// exact on the other. Both zero degrades to the exact frontier; a
+// negative ε panics.
 func EpsilonFrontier2D(pts []Point, epsX, epsY float64) []Point {
 	if len(pts) == 0 {
 		return nil
 	}
-	if epsX <= 0 || epsY <= 0 {
-		panic("pareto: epsilon values must be positive")
+	if epsX < 0 || epsY < 0 {
+		panic("pareto: epsilon values must be non-negative")
+	}
+	if epsX == 0 && epsY == 0 {
+		return Frontier2D(pts)
+	}
+	// Box coordinates are kept as floats so an ungridded axis can use
+	// the raw objective value; a gridded axis uses whole box numbers,
+	// so the two never mix on one axis and comparisons stay exact.
+	box := func(v, eps float64) (coord, dist float64) {
+		if eps == 0 {
+			return v, 0
+		}
+		b := math.Floor(v / eps)
+		return b, v - b*eps
 	}
 	type boxed struct {
-		bx, by int64
+		bx, by float64
 		p      Point
 		dist   float64 // squared distance to box corner
 	}
-	best := make(map[[2]int64]boxed)
+	best := make(map[[2]float64]boxed)
 	for _, p := range pts {
-		bx := int64(math.Floor(p.X / epsX))
-		by := int64(math.Floor(p.Y / epsY))
-		dx := p.X - float64(bx)*epsX
-		dy := p.Y - float64(by)*epsY
+		bx, dx := box(p.X, epsX)
+		by, dy := box(p.Y, epsY)
 		b := boxed{bx, by, p, dx*dx + dy*dy}
-		key := [2]int64{bx, by}
+		key := [2]float64{bx, by}
 		if cur, ok := best[key]; !ok || b.dist < cur.dist {
 			best[key] = b
 		}
@@ -102,7 +118,7 @@ func EpsilonFrontier2D(pts []Point, epsX, epsY float64) []Point {
 		return boxes[i].by < boxes[j].by
 	})
 	var out []Point
-	bestBY := int64(math.MaxInt64)
+	bestBY := math.Inf(1)
 	for _, b := range boxes {
 		if b.by < bestBY {
 			out = append(out, b.p)

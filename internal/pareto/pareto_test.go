@@ -2,6 +2,7 @@ package pareto
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -236,10 +237,53 @@ func TestEpsilonFrontierNoFalseDominance(t *testing.T) {
 func TestEpsilonFrontierPanicsOnBadEps(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("no panic for eps <= 0")
+			t.Fatal("no panic for eps < 0")
 		}
 	}()
-	EpsilonFrontier2D([]Point{{1, 1, 0}}, 0, 1)
+	EpsilonFrontier2D([]Point{{1, 1, 0}}, -1, 1)
+}
+
+func TestEpsilonFrontierBothZeroIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]Point, 200)
+	for i := range pts {
+		pts[i] = Point{rng.Float64() * 50, rng.Float64() * 50, uint64(i)}
+	}
+	got := EpsilonFrontier2D(pts, 0, 0)
+	if !reflect.DeepEqual(got, Frontier2D(pts)) {
+		t.Fatalf("zero-ε frontier diverges from the exact frontier:\n%v\nvs\n%v",
+			got, Frontier2D(pts))
+	}
+}
+
+func TestEpsilonFrontierSingleAxisX(t *testing.T) {
+	// ε on X only: (1.0,10) and (1.9,9) land in X-box 1 with exact Y,
+	// so box domination removes the costlier of the two while the Y
+	// axis stays exact.
+	pts := []Point{{1.0, 10, 0}, {1.9, 9, 1}, {2.0, 8, 2}, {3.0, 7, 3}}
+	if exact := Frontier2D(pts); len(exact) != 4 {
+		t.Fatalf("exact frontier = %d points, want 4", len(exact))
+	}
+	got := EpsilonFrontier2D(pts, 1, 0)
+	want := []Point{{1.9, 9, 1}, {2.0, 8, 2}, {3.0, 7, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("X-only ε frontier = %v, want %v", got, want)
+	}
+}
+
+func TestEpsilonFrontierSingleAxisY(t *testing.T) {
+	// ε on Y only: (1.0,9.9) and (1.5,9.1) share Y-box 9, so the later
+	// (slower) of the two is box-dominated away despite being exactly
+	// nondominated.
+	pts := []Point{{1.0, 9.9, 0}, {1.5, 9.1, 1}, {2.0, 7.0, 2}}
+	if exact := Frontier2D(pts); len(exact) != 3 {
+		t.Fatalf("exact frontier = %d points, want 3", len(exact))
+	}
+	got := EpsilonFrontier2D(pts, 0, 1)
+	want := []Point{{1.0, 9.9, 0}, {2.0, 7.0, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Y-only ε frontier = %v, want %v", got, want)
+	}
 }
 
 func TestEpsilonFrontierEmpty(t *testing.T) {

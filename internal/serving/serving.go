@@ -22,6 +22,13 @@
 // mutate them. Hit/miss/eviction, coalescing, admission, and latency
 // accounting flow into a telemetry.Registry exported by the API layer
 // at GET /debug/metrics.
+//
+// Below the cache, NewFrontdoor opts every mounted engine into the
+// core frontier index (Config.DisableIndex turns this off), so analytic
+// leader runs answer from the precomputed demand-invariant frontier
+// instead of re-scanning the configuration space. The serving.index.*
+// counters and gauges report how many leader computes were index-served
+// versus scan-backed and the shape of the built indexes.
 package serving
 
 import (
@@ -75,6 +82,12 @@ type Config struct {
 	// RequestTimeout bounds each request from admission to queue exit.
 	// 0 → 60 s; negative → no per-request deadline.
 	RequestTimeout time.Duration
+	// DisableIndex keeps the mounted engines on the exhaustive scan
+	// instead of opting them into the frontier index. The zero value
+	// (index enabled) is right for production: answers are certified
+	// byte-identical, and only the first analytic query per engine pays
+	// the one-time build. Per-hour engines ignore the opt-in either way.
+	DisableIndex bool
 	// Metrics receives the serving counters; nil → a fresh registry
 	// (retrievable via Frontdoor.Metrics).
 	Metrics *telemetry.Registry
@@ -166,8 +179,22 @@ type Frontdoor struct {
 	slots chan struct{}
 
 	requests, errors, rejected, coalesced, panics *telemetry.Counter
+	idxServed, idxBypass                          *telemetry.Counter
 	inflight, queued                              *telemetry.Gauge
+	idxPairs, idxCandidates, idxBuildMS           *telemetry.Gauge
 	computeMS                                     *telemetry.Histogram
+}
+
+// AnalyticKind reports whether kind is answered by the engine's
+// analytic query surface (Analyze and the argmin searches) — the kinds
+// the frontier index can serve. Monte-Carlo kinds like "risk" never
+// touch the index.
+func AnalyticKind(kind string) bool {
+	switch kind {
+	case "analyze", "mincost", "mintime", "maxaccuracy":
+		return true
+	}
+	return false
 }
 
 // NewFrontdoor validates the configuration and wraps the given engines.
@@ -190,9 +217,22 @@ func NewFrontdoor(engines map[string]*core.Engine, cfg Config) (*Frontdoor, erro
 		inflight:  cfg.Metrics.Gauge("serving.inflight"),
 		queued:    cfg.Metrics.Gauge("serving.queued"),
 		computeMS: cfg.Metrics.Histogram("serving.compute_ms"),
+		idxServed: cfg.Metrics.Counter("serving.index.served"),
+		idxBypass: cfg.Metrics.Counter("serving.index.bypass"),
+		// Gauges describe the built indexes, summed over engines:
+		// exact (u, c_u) pairs retained, staircase candidates, and
+		// cumulative build wall-clock. They stay 0 until a build runs.
+		idxPairs:      cfg.Metrics.Gauge("serving.index.pairs"),
+		idxCandidates: cfg.Metrics.Gauge("serving.index.candidates"),
+		idxBuildMS:    cfg.Metrics.Gauge("serving.index.build_ms"),
 	}
 	if cfg.CacheBytes > 0 {
 		f.cache = newResultCache(cfg.CacheBytes, cfg.CacheTTL, cfg.Metrics)
+	}
+	if !cfg.DisableIndex {
+		for _, e := range engines {
+			e.SetUseIndex(true)
+		}
 	}
 	return f, nil
 }
@@ -283,6 +323,16 @@ func (f *Frontdoor) Do(ctx context.Context, q Query, compute func(*core.Engine) 
 	}
 
 	val, err := f.admitAndCompute(ctx, eng, compute)
+	if err == nil && AnalyticKind(q.Kind) {
+		// Leader-only accounting: cache hits and coalesced followers
+		// never consult the index, so counting them would overstate it.
+		if eng.IndexBuilt() {
+			f.idxServed.Inc()
+			f.refreshIndexGauges()
+		} else {
+			f.idxBypass.Inc()
+		}
+	}
 	if err == nil && f.cache != nil {
 		f.cache.put(key, val)
 	}
@@ -291,6 +341,29 @@ func (f *Frontdoor) Do(ctx context.Context, q Query, compute func(*core.Engine) 
 		f.errors.Inc()
 	}
 	return val, StatusMiss, err
+}
+
+// refreshIndexGauges re-derives the index-shape gauges as sums over
+// engines whose index has finished building. IndexBuilt gates each
+// FrontierIndex call, so this never triggers a build; recomputing the
+// sums keeps the gauges correct as engines build lazily at different
+// times.
+func (f *Frontdoor) refreshIndexGauges() {
+	var pairs, cands, buildMS int64
+	for _, e := range f.engines {
+		if !e.IndexBuilt() {
+			continue
+		}
+		if idx, ok := e.FrontierIndex(); ok {
+			st := idx.Stats()
+			pairs += int64(st.Pairs)
+			cands += int64(st.Staircase)
+			buildMS += st.BuildMS
+		}
+	}
+	f.idxPairs.Set(pairs)
+	f.idxCandidates.Set(cands)
+	f.idxBuildMS.Set(buildMS)
 }
 
 // admitAndCompute is the leader path: take a queue token (fail fast

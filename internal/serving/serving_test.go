@@ -361,9 +361,82 @@ func TestRealEngineThroughFrontdoor(t *testing.T) {
 	if !bytes.Equal(cold, warm) {
 		t.Fatalf("cold %q != warm %q", cold, warm)
 	}
-	// The paper's spill configuration shows up through the stack.
-	if want := "[5 5 5 3 0 0 0 0 0]"; !bytes.Contains(cold, []byte(want)) {
+	// The exhaustive tie winner for the paper's spill scenario shows up
+	// through the stack: the frontdoor opts the engine into the frontier
+	// index, which (certified against MinCostExhaustive) lands one ulp
+	// cheaper than the decomposed search's [5 5 5 3 ...].
+	if want := "[5 5 5 1 1 0 0 0 0]"; !bytes.Contains(cold, []byte(want)) {
 		t.Fatalf("body %q missing %q", cold, want)
+	}
+
+	// The cold compute built and used the index; the warm call was a
+	// cache hit and must not re-count.
+	m := f.Metrics()
+	if served := m.Counter("serving.index.served").Value(); served != 1 {
+		t.Fatalf("serving.index.served = %d, want 1", served)
+	}
+	if bypass := m.Counter("serving.index.bypass").Value(); bypass != 0 {
+		t.Fatalf("serving.index.bypass = %d, want 0", bypass)
+	}
+	if pairs := m.Gauge("serving.index.pairs").Value(); pairs <= 0 {
+		t.Fatalf("serving.index.pairs = %d after an indexed compute", pairs)
+	}
+	if cands := m.Gauge("serving.index.candidates").Value(); cands <= 0 {
+		t.Fatalf("serving.index.candidates = %d after an indexed compute", cands)
+	}
+}
+
+// TestFrontdoorIndexOptIn pins the Config.DisableIndex contract: the
+// default opts every mounted engine into the frontier index but never
+// builds eagerly (startup stays cheap; the first analytic query pays),
+// while DisableIndex leaves engines scan-backed and counts analytic
+// leader computes as bypasses.
+func TestFrontdoorIndexOptIn(t *testing.T) {
+	f := newTestFrontdoor(t, Config{})
+	eng, _ := f.Engine("galaxy")
+	if !eng.UseIndex() {
+		t.Fatal("default frontdoor left the engine scan-backed")
+	}
+	if eng.IndexBuilt() {
+		t.Fatal("NewFrontdoor built the index eagerly")
+	}
+
+	off := newTestFrontdoor(t, Config{DisableIndex: true})
+	offEng, _ := off.Engine("galaxy")
+	if offEng.UseIndex() {
+		t.Fatal("DisableIndex frontdoor opted the engine in")
+	}
+	// A stubbed analytic leader compute on the scan-backed engine is a
+	// bypass; the non-analytic "risk" kind is counted as neither.
+	stub := func(*core.Engine) ([]byte, error) { return []byte("v"), nil }
+	if _, _, err := off.Do(context.Background(), Query{Kind: "mincost", App: "galaxy", DeadlineHours: 24}, stub); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := off.Do(context.Background(), Query{Kind: "risk", App: "galaxy", Trials: 1}, stub); err != nil {
+		t.Fatal(err)
+	}
+	m := off.Metrics()
+	if bypass := m.Counter("serving.index.bypass").Value(); bypass != 1 {
+		t.Fatalf("serving.index.bypass = %d, want 1 (risk must not count)", bypass)
+	}
+	if served := m.Counter("serving.index.served").Value(); served != 0 {
+		t.Fatalf("serving.index.served = %d, want 0", served)
+	}
+	if offEng.IndexBuilt() {
+		t.Fatal("bypass accounting triggered an index build")
+	}
+}
+
+func TestAnalyticKind(t *testing.T) {
+	for _, kind := range []string{"analyze", "mincost", "mintime", "maxaccuracy"} {
+		if !AnalyticKind(kind) {
+			t.Errorf("AnalyticKind(%q) = false", kind)
+		}
+	}
+	for _, kind := range []string{"risk", "", "Analyze", "frontier"} {
+		if AnalyticKind(kind) {
+			t.Errorf("AnalyticKind(%q) = true", kind)
+		}
 	}
 }
 

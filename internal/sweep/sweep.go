@@ -77,6 +77,10 @@ func MinCostCurve(eng *core.Engine, fixed workload.Params, byN bool, varyName st
 		Values:    values,
 	}
 	res.App = eng.DemandModel().AppName
+	// Warm the frontier index (when the engine opted in) before the
+	// ladder: the build runs once and every (value × deadline) cell
+	// answers from the same precomputed pair table.
+	eng.IndexActive()
 	for _, dh := range deadlinesHours {
 		row := make([]ScalePoint, 0, len(values))
 		for _, v := range values {
@@ -120,12 +124,26 @@ func GradientJumps(row []ScalePoint, jumpFactor float64) []int {
 		}
 		dv := row[i].Value - row[i-1].Value
 		if dv <= 0 {
+			// A zero-width (duplicate value) or unordered segment has
+			// no slope; drop the previous slope like the infeasible
+			// branch does, or the next test would compare segments
+			// that are not adjacent.
+			havePrev = false
 			continue
 		}
 		//lint:allow unitsafe slope is $ per swept unit (size or accuracy); no units type models the swept axis
 		slope := (float64(row[i].Cost) - float64(row[i-1].Cost)) / dv
-		if havePrev && prevSlope > 0 && slope > prevSlope*jumpFactor {
-			out = append(out, i)
+		if havePrev {
+			if prevSlope > 0 {
+				if slope > prevSlope*jumpFactor {
+					out = append(out, i)
+				}
+			} else if slope > 0 {
+				// Climbing out of a flat (or dipping) segment: relative
+				// to a non-positive base slope every factor is
+				// infinite, so any positive slope is a jump.
+				out = append(out, i)
+			}
 		}
 		prevSlope = slope
 		havePrev = true
@@ -247,6 +265,9 @@ func TradeSurface(eng *core.Engine, n float64, accuracies []float64,
 	if len(accuracies) == 0 {
 		return nil, fmt.Errorf("sweep: no accuracy rungs")
 	}
+	// One index build serves every accuracy rung: the pair table is
+	// demand-invariant, and each rung only changes the demand.
+	eng.IndexActive()
 	var all []TradePoint
 	for _, a := range accuracies {
 		an, err := eng.Analyze(workload.Params{N: n, A: a},

@@ -158,6 +158,52 @@ func TestGradientJumpsDetector(t *testing.T) {
 	}
 }
 
+func TestGradientJumpsDuplicateValueResetsSlope(t *testing.T) {
+	// A zero-width segment (duplicate swept value) has no slope. The
+	// detector used to keep the slope from before the duplicate and
+	// compare the next segment against it, reporting a spurious jump
+	// across the gap.
+	row := []ScalePoint{
+		{Value: 1, Cost: 10, Feasible: true},
+		{Value: 2, Cost: 20, Feasible: true}, // slope 10
+		{Value: 2, Cost: 20, Feasible: true}, // zero-width: resets state
+		{Value: 3, Cost: 50, Feasible: true}, // slope 30, but no adjacent base
+	}
+	if got := GradientJumps(row, 1.5); got != nil {
+		t.Fatalf("jumps = %v; a zero-width segment must reset the slope like an infeasible one", got)
+	}
+	// The segment after the reset becomes the new base, so a further
+	// steepening is still caught.
+	row = append(row, ScalePoint{Value: 4, Cost: 120, Feasible: true}) // slope 70 vs base 30
+	if got := GradientJumps(row, 1.5); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("jumps = %v, want [4]", got)
+	}
+}
+
+func TestGradientJumpsPlateauExit(t *testing.T) {
+	// Climbing out of a flat (zero-slope) plateau is a jump: relative
+	// to a zero base every factor is infinite. The detector used to
+	// require prevSlope > 0 and silently missed it.
+	row := []ScalePoint{
+		{Value: 1, Cost: 10, Feasible: true},
+		{Value: 2, Cost: 10, Feasible: true}, // slope 0
+		{Value: 3, Cost: 10, Feasible: true}, // slope 0
+		{Value: 4, Cost: 30, Feasible: true}, // slope 20 out of the plateau
+	}
+	if got := GradientJumps(row, 1.15); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("jumps = %v, want [3]", got)
+	}
+	// Same for a dipping base: cost falls, then rises again.
+	row = []ScalePoint{
+		{Value: 1, Cost: 20, Feasible: true},
+		{Value: 2, Cost: 10, Feasible: true}, // slope -10
+		{Value: 3, Cost: 15, Feasible: true}, // slope 5 out of the dip
+	}
+	if got := GradientJumps(row, 1.15); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("jumps = %v, want [2]", got)
+	}
+}
+
 func TestTighteningObs3Galaxy(t *testing.T) {
 	// Observation 3 (galaxy(262144, 1000)): tightening 72h → 24h (a
 	// 67% cut) raises cost by well under 67%; the paper reports ~40%.
