@@ -17,6 +17,8 @@ import (
 
 	"repro/internal/apps/galaxy"
 	"repro/internal/core"
+	"repro/internal/demand"
+	"repro/internal/schedule"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -98,7 +100,22 @@ func main() {
 			rows[i].Speedup = float64(rows[i-1].NsPerOp) / float64(rows[i].NsPerOp)
 		}
 	}
-	rows = append(rows, buildRow)
+
+	// The horizon-solver rung: a 1,000-step diurnal trace solved against
+	// the already-built staircase. Its speedup is measured against the
+	// naive alternative — one exhaustive min-cost scan per step.
+	tr := demand.GoldenDiurnal()
+	solveRow := run("ScheduleSolveDiurnal1k", func() error {
+		s, err := schedule.Solve(idxEng, tr, schedule.PolicyFor(idxEng))
+		if err == nil && s.Misses != 0 {
+			return fmt.Errorf("%d missed steps on the golden trace", s.Misses)
+		}
+		return err
+	})
+	if scanNs := rows[2].NsPerOp; solveRow.NsPerOp > 0 && rows[2].Name == "MinCostScanPaper" {
+		solveRow.Speedup = float64(int64(tr.Steps())*scanNs) / float64(solveRow.NsPerOp)
+	}
+	rows = append(rows, solveRow, buildRow)
 
 	enc, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {

@@ -111,6 +111,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *index {
+		// The frontdoor opted every engine in above; a non-empty reason
+		// here means analytic queries will scan anyway (e.g. per-hour
+		// billing). One line per engine, also exported at GET /v1/apps.
+		for _, name := range fd.Apps() {
+			eng, _ := fd.Engine(name)
+			if reason := eng.IndexBypassReason(); reason != "" {
+				log.Printf("warning: frontier index bypassed for %s: %s", name, reason)
+			}
+		}
+	}
 	srv, err := api.NewServer(fd, api.WithApps(cli.Apps()))
 	if err != nil {
 		log.Fatal(err)

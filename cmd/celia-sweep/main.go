@@ -40,6 +40,11 @@ var (
 func newEngine(app workload.App) *core.Engine {
 	eng := core.NewPaperEngine(app)
 	eng.SetUseIndex(useIndex)
+	if useIndex {
+		if reason := eng.IndexBypassReason(); reason != "" {
+			log.Printf("warning: frontier index bypassed for %s: %s", app.Name(), reason)
+		}
+	}
 	return eng
 }
 

@@ -18,6 +18,7 @@ var detPrefixes = []string{
 	"internal/model",
 	"internal/pareto",
 	"internal/demand",
+	"internal/schedule",
 	"internal/uncertainty",
 }
 

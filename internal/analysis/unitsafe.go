@@ -23,6 +23,8 @@ var unitsafePrefixes = []string{
 	"internal/faults",
 	"internal/spot",
 	"internal/autoscale",
+	"internal/demand",
+	"internal/schedule",
 	"internal/sweep",
 }
 

@@ -12,6 +12,7 @@
 //	POST /v1/mintime                 fastest configuration within a budget
 //	POST /v1/maxaccuracy             largest feasible accuracy
 //	POST /v1/risk                    Monte-Carlo deadline risk under failures
+//	POST /v1/schedule                scaling schedule over a demand trace
 //	GET  /healthz                    liveness
 //	GET  /readyz                     readiness (503 while draining)
 //	GET  /debug/metrics              serving + HTTP metrics (JSON)
@@ -32,6 +33,9 @@
 //     engine answers this kind of query from its built frontier index
 //     (byte-identical to the exhaustive scan), "off" for scan-backed
 //     answers, Monte-Carlo kinds, and before the lazy index build.
+//     Schedule responses report "on" whenever the billing-independent
+//     staircase exists — a per-hour engine bypasses the index for
+//     per-query kinds but still solves schedules from it.
 package api
 
 import (
@@ -45,11 +49,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/cloudsim"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/demand"
 	"repro/internal/faults"
 	"repro/internal/faults/risk"
+	"repro/internal/schedule"
 	"repro/internal/serving"
 	"repro/internal/telemetry"
 	"repro/internal/units"
@@ -115,6 +122,7 @@ func NewServer(fd *serving.Frontdoor, opts ...ServerOption) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/mintime", s.instrument(s.reg.Histogram("http.mintime.ms"), s.handleMinTime))
 	s.mux.HandleFunc("POST /v1/maxaccuracy", s.instrument(s.reg.Histogram("http.maxaccuracy.ms"), s.handleMaxAccuracy))
 	s.mux.HandleFunc("POST /v1/risk", s.instrument(s.reg.Histogram("http.risk.ms"), s.handleRisk))
+	s.mux.HandleFunc("POST /v1/schedule", s.instrument(s.reg.Histogram("http.schedule.ms"), s.handleSchedule))
 	s.mux.Handle("GET /debug/metrics", s.reg.Handler())
 	return s, nil
 }
@@ -192,8 +200,27 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
+// AppIndexStatus reports, per mounted engine, whether analytic queries
+// are (or will be, after the lazy first build) answered from the
+// frontier index, and the operator-facing reason when they are not.
+// The probe never triggers a build, so listing apps stays cheap.
+type AppIndexStatus struct {
+	IndexActive  bool   `json:"index_active"`
+	BypassReason string `json:"bypass_reason,omitempty"`
+}
+
 func (s *Server) handleApps(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]string{"apps": s.fd.Apps()})
+	names := s.fd.Apps()
+	idx := make(map[string]AppIndexStatus, len(names))
+	for _, name := range names {
+		eng, _ := s.fd.Engine(name)
+		reason := eng.IndexBypassReason()
+		idx[name] = AppIndexStatus{IndexActive: reason == "", BypassReason: reason}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Apps  []string                  `json:"apps"`
+		Index map[string]AppIndexStatus `json:"index"`
+	}{Apps: names, Index: idx})
 }
 
 // decode parses and validates the common request body.
@@ -248,10 +275,20 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, q serving.Query, 
 // the response either came from the index or is byte-identical to what
 // the index serves.
 func (s *Server) indexHeader(q serving.Query) string {
-	if serving.AnalyticKind(q.Kind) {
-		if eng, ok := s.fd.Engine(q.App); ok && eng.IndexBuilt() {
+	eng, ok := s.fd.Engine(q.App)
+	if !ok || !serving.AnalyticKind(q.Kind) {
+		return "off"
+	}
+	if q.Kind == "schedule" {
+		// The horizon solver reuses the billing-independent staircase,
+		// so it is index-backed even on per-hour engines.
+		if eng.FrontierBuilt() {
 			return "on"
 		}
+		return "off"
+	}
+	if eng.IndexBuilt() {
+		return "on"
 	}
 	return "off"
 }
@@ -546,6 +583,209 @@ func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
 			CostP90USD:      est.CostP90,
 			CostP99USD:      est.CostP99,
 		})
+	})
+}
+
+// scheduleRequest is the body of POST /v1/schedule: a demand trace to
+// solve a scaling schedule for, plus the switching-cost and optional
+// per-step risk knobs.
+type scheduleRequest struct {
+	App   string       `json:"app"`
+	Trace demand.Trace `json:"trace"`
+	// BootSeconds is the boot delay for capacity added at a step
+	// boundary; 0 means the default (schedule.DefaultBoot).
+	BootSeconds units.Seconds `json:"boot_seconds,omitempty"`
+	// HazardPerHour > 0 adds a Monte-Carlo deadline-risk timeline
+	// (requires the app's workload to be mounted).
+	HazardPerHour float64 `json:"hazard_per_hour,omitempty"`
+	RiskTrials    int     `json:"risk_trials,omitempty"`
+	// RiskEvery samples every k-th step for risk (default 8).
+	RiskEvery int    `json:"risk_every,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+	// MaxTimeline caps per-step rows in the response (default 1000;
+	// negative omits the timeline entirely).
+	MaxTimeline int `json:"max_timeline,omitempty"`
+}
+
+// ScheduleStepResult is one timestep of a schedule response.
+type ScheduleStepResult struct {
+	T            int           `json:"t"`
+	Config       []int         `json:"config"`
+	DeltaNodes   int           `json:"delta_nodes,omitempty"`
+	SlackSeconds units.Seconds `json:"slack_seconds"`
+	CostUSD      units.USD     `json:"cost_usd"`
+	Missed       bool          `json:"missed,omitempty"`
+	// MissProbability is present only on risk-sampled steps.
+	MissProbability *float64 `json:"miss_probability,omitempty"`
+	RiskTrials      int      `json:"risk_trials,omitempty"`
+}
+
+// ScheduleResponse reports the solved schedule and its gap to the
+// reactive autoscaling baseline.
+type ScheduleResponse struct {
+	App              string        `json:"app"`
+	TraceHash        string        `json:"trace_hash"`
+	TraceName        string        `json:"trace_name,omitempty"`
+	Steps            int           `json:"steps"`
+	StepSeconds      units.Seconds `json:"step_seconds"`
+	HorizonHours     units.Hours   `json:"horizon_hours"`
+	Billing          string        `json:"billing"`
+	BootSeconds      units.Seconds `json:"boot_seconds"`
+	QuantumSeconds   units.Seconds `json:"quantum_seconds,omitempty"`
+	Candidates       int           `json:"candidates"`
+	IndexBacked      bool          `json:"index_backed"`
+	TotalCostUSD     units.USD     `json:"total_cost_usd"`
+	ReleasePayoutUSD units.USD     `json:"release_payout_usd,omitempty"`
+	Switches         int           `json:"switches"`
+	Misses           int           `json:"misses"`
+	// The built-in comparison: the same trace under reactive
+	// autoscale-style scaling with identical cost accounting.
+	BaselineCostUSD      units.USD            `json:"baseline_cost_usd"`
+	BaselineMisses       int                  `json:"baseline_misses"`
+	SavingsVsReactivePct float64              `json:"savings_vs_reactive_pct"`
+	Timeline             []ScheduleStepResult `json:"timeline,omitempty"`
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req scheduleRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{fmt.Sprintf("request body exceeds %d bytes", maxBodyBytes)})
+		} else {
+			writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request body: %v", err)})
+		}
+		return
+	}
+	if _, ok := s.fd.Engine(req.App); !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{fmt.Sprintf("unknown app %q", req.App)})
+		return
+	}
+	if err := req.Trace.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	boot := req.BootSeconds
+	if boot == 0 {
+		boot = schedule.DefaultBoot
+	}
+	if boot < 0 || boot > req.Trace.Step {
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{fmt.Sprintf("boot_seconds %v outside [0, step %v]", req.BootSeconds, req.Trace.Step)})
+		return
+	}
+	if req.HazardPerHour < 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{"negative hazard_per_hour"})
+		return
+	}
+	if req.RiskTrials < 0 || req.RiskTrials > risk.MaxTrials {
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{fmt.Sprintf("risk_trials outside [0, %d]", risk.MaxTrials)})
+		return
+	}
+	var app workload.App
+	if req.HazardPerHour > 0 {
+		var ok bool
+		if app, ok = s.apps[req.App]; !ok {
+			writeJSON(w, http.StatusUnprocessableEntity,
+				errorBody{fmt.Sprintf("no workload mounted for %q: risk timelines need the simulator, not just the analytic engine", req.App)})
+			return
+		}
+	}
+	riskEvery := req.RiskEvery
+	if riskEvery <= 0 {
+		riskEvery = 8
+	}
+	maxTimeline := req.MaxTimeline
+	if maxTimeline == 0 {
+		maxTimeline = 1000
+	}
+
+	// The trace hash plus every policy knob that shapes the response
+	// body goes into the cache key via Extra; hazard, trials, and seed
+	// ride the shared Query fields.
+	q := serving.Query{Kind: "schedule", App: req.App,
+		HazardPerHour: req.HazardPerHour, Trials: req.RiskTrials, Seed: req.Seed,
+		Extra: fmt.Sprintf("%s|boot=%s|every=%d|cap=%d", req.Trace.Hash(),
+			strconv.FormatFloat(float64(boot), 'g', -1, 64), riskEvery, maxTimeline)}
+	solves := s.reg.Counter("serving.schedule.solves")
+	stepsSolved := s.reg.Counter("serving.schedule.steps")
+	riskSteps := s.reg.Counter("serving.schedule.risk_steps")
+	s.serve(w, r, q, func(eng *core.Engine) ([]byte, error) {
+		pol := schedule.PolicyFor(eng)
+		pol.Boot = boot
+		solved, err := schedule.Solve(eng, req.Trace, pol)
+		if err != nil {
+			return nil, err
+		}
+		baseline, err := schedule.Reactive(eng, req.Trace, pol, autoscale.DefaultPolicy())
+		if err != nil {
+			return nil, err
+		}
+		solves.Inc()
+		stepsSolved.Add(int64(len(solved.Steps)))
+
+		riskAt := make(map[int]schedule.RiskPoint)
+		if req.HazardPerHour > 0 {
+			points, err := schedule.RiskTimeline(app, eng, req.Trace, solved, schedule.RiskOptions{
+				HazardPerHour: req.HazardPerHour,
+				Trials:        req.RiskTrials,
+				Every:         riskEvery,
+				Seed:          req.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			riskSteps.Add(int64(len(points)))
+			for _, pt := range points {
+				riskAt[pt.T] = pt
+			}
+		}
+
+		resp := ScheduleResponse{
+			App:                  req.App,
+			TraceHash:            req.Trace.Hash(),
+			TraceName:            req.Trace.Name,
+			Steps:                req.Trace.Steps(),
+			StepSeconds:          req.Trace.Step,
+			HorizonHours:         req.Trace.Horizon().InHours(),
+			Billing:              eng.Billing().String(),
+			BootSeconds:          pol.Boot,
+			QuantumSeconds:       pol.Quantum,
+			Candidates:           solved.Candidates,
+			IndexBacked:          eng.FrontierBuilt(),
+			TotalCostUSD:         solved.TotalCost,
+			ReleasePayoutUSD:     solved.ReleasePayout,
+			Switches:             solved.Switches,
+			Misses:               solved.Misses,
+			BaselineCostUSD:      baseline.TotalCost,
+			BaselineMisses:       baseline.Misses,
+			SavingsVsReactivePct: schedule.SavingsPct(solved.TotalCost, baseline.TotalCost),
+		}
+		for t, st := range solved.Steps {
+			if maxTimeline < 0 || t >= maxTimeline {
+				break
+			}
+			row := ScheduleStepResult{
+				T:            t,
+				Config:       st.Config.Counts(),
+				DeltaNodes:   st.DeltaNodes,
+				SlackSeconds: st.Slack,
+				CostUSD:      st.Cost,
+				Missed:       st.Missed,
+			}
+			if pt, ok := riskAt[t]; ok {
+				p := pt.MissProbability
+				row.MissProbability = &p
+				row.RiskTrials = pt.Trials
+			}
+			resp.Timeline = append(resp.Timeline, row)
+		}
+		return json.Marshal(resp)
 	})
 }
 

@@ -88,13 +88,24 @@ func TestAppsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var body map[string][]string
+	var body struct {
+		Apps  []string                  `json:"apps"`
+		Index map[string]AppIndexStatus `json:"index"`
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
 	}
-	apps := body["apps"]
-	if len(apps) != 2 || apps[0] != "galaxy" || apps[1] != "x264" {
-		t.Fatalf("apps = %v", apps)
+	if len(body.Apps) != 2 || body.Apps[0] != "galaxy" || body.Apps[1] != "x264" {
+		t.Fatalf("apps = %v", body.Apps)
+	}
+	for _, name := range body.Apps {
+		st, ok := body.Index[name]
+		if !ok {
+			t.Fatalf("no index status for %s", name)
+		}
+		if !st.IndexActive || st.BypassReason != "" {
+			t.Fatalf("%s index status = %+v, want active with no bypass", name, st)
+		}
 	}
 }
 

@@ -162,3 +162,116 @@ func TestCompareStatic(t *testing.T) {
 		t.Fatal("zero static cost should yield NaN")
 	}
 }
+
+func TestBootConsumingWholeEpoch(t *testing.T) {
+	// Boot == Epoch is the legal extreme: nodes added at a boundary
+	// contribute nothing until the next epoch. The run must still
+	// terminate and can only be slower and costlier than instant boot.
+	eng := core.NewPaperEngine(galaxy.App{})
+	d, err := eng.Demand(workload.Params{N: 65536, A: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := DefaultPolicy()
+	slow.Boot = slow.Epoch
+	deadline := units.FromHours(24)
+	got, err := Simulate(eng.Capacities(), eng.Space(), d, deadline, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Finished {
+		t.Fatalf("boot==epoch run missed a %v deadline: finish %v", deadline, got.FinishTime)
+	}
+	instant := DefaultPolicy()
+	instant.Boot = 0
+	ref, err := Simulate(eng.Capacities(), eng.Space(), d, deadline, instant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FinishTime < ref.FinishTime {
+		t.Fatalf("epoch-long boot finished earlier (%v) than instant boot (%v)", got.FinishTime, ref.FinishTime)
+	}
+	if got.TotalCost < ref.TotalCost {
+		t.Fatalf("epoch-long boot cost $%v, under instant boot's $%v", got.TotalCost, ref.TotalCost)
+	}
+}
+
+func TestShrinkKeepsAtLeastOneNode(t *testing.T) {
+	// A trivial job against a huge deadline invites shrinking every
+	// epoch; the uWithout > 0 guard must leave the last node running
+	// rather than scaling to an empty cluster that can never finish.
+	eng := core.NewPaperEngine(galaxy.App{})
+	d, err := eng.Demand(workload.Params{N: 65536, A: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := DefaultPolicy()
+	pol.Headroom = 0.95
+	pol.ShrinkBelow = 0.9 // shrink on almost any slack
+	tr, err := Simulate(eng.Capacities(), eng.Space(), d, units.FromHours(1000), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Finished {
+		t.Fatalf("run never finished: %+v", tr)
+	}
+	for i, st := range tr.Steps {
+		if st.Config.TotalNodes() < 1 {
+			t.Fatalf("epoch %d scaled to an empty cluster", i)
+		}
+	}
+}
+
+func TestFinishWithinFirstEpoch(t *testing.T) {
+	// Demand small enough for the starting node: the run ends mid-epoch
+	// and is billed for the actual completion time, not the full epoch.
+	eng := core.NewPaperEngine(galaxy.App{})
+	d, err := eng.Demand(workload.Params{N: 16384, A: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := DefaultPolicy()
+	tr, err := Simulate(eng.Capacities(), eng.Space(), d, units.FromHours(24), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Steps) != 1 {
+		t.Fatalf("took %d epochs, want 1", len(tr.Steps))
+	}
+	if !tr.Finished || tr.FinishTime >= pol.Epoch {
+		t.Fatalf("finished=%v at %v, want early finish inside the first %v epoch",
+			tr.Finished, tr.FinishTime, pol.Epoch)
+	}
+	if tr.Steps[0].Config.TotalNodes() != 1 || tr.TotalCost <= 0 {
+		t.Fatalf("first-epoch run = %+v", tr)
+	}
+}
+
+func TestMaxedOutClusterRunsWhatItHas(t *testing.T) {
+	// Demand beyond the whole space at the deadline: the grow loop must
+	// stop at the per-type caps (not spin) and report a missed deadline.
+	eng := core.NewPaperEngine(galaxy.App{})
+	d, err := eng.Demand(workload.Params{N: 1048576, A: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Simulate(eng.Capacities(), eng.Space(), d, units.FromHours(1), DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Finished {
+		t.Fatal("impossible job reported as finished")
+	}
+	space := eng.Space()
+	total := 0
+	for i := 0; i < space.Types(); i++ {
+		total += space.Max(i)
+	}
+	last := tr.Steps[len(tr.Steps)-1].Config
+	if last.TotalNodes() != total {
+		t.Fatalf("final config holds %d nodes, want the whole %d-node space", last.TotalNodes(), total)
+	}
+	if tr.FinishTime > units.FromHours(1) {
+		t.Fatalf("simulation ran past the deadline: %v", tr.FinishTime)
+	}
+}

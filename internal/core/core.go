@@ -57,6 +57,7 @@ type Engine struct {
 	idxOnce  sync.Once
 	idx      *FrontierIndex
 	idxReady atomic.Bool
+	idxTried atomic.Bool
 }
 
 // NewEngine validates and builds an engine. The space's arity must

@@ -450,6 +450,50 @@ func (x *FrontierIndex) minSearch(e *Engine, d units.Instructions, cons Constrai
 	return e.caps.PredictBilled(d, bestTuple, e.billing), true
 }
 
+// Candidate is one staircase step of the demand-invariant frontier:
+// an exact (capacity, unit cost) value pair together with a
+// deterministic representative configuration (the lessTuple-minimal
+// member of the step's cheapest pair). Under per-second billing every
+// per-query optimum takes its (time, cost) values from some candidate,
+// whatever the demand — the property the schedule solver builds on:
+// one candidate table prices every timestep of a trace.
+type Candidate struct {
+	Config config.Tuple
+	U      units.Rate
+	Cu     units.USDPerHour
+}
+
+// Candidates returns the staircase in descending-capacity order. The
+// slice is freshly allocated; the index itself stays immutable.
+func (x *FrontierIndex) Candidates() []Candidate {
+	out := make([]Candidate, len(x.stair))
+	for i, st := range x.stair {
+		pr := &x.pairs[st.pairIdx]
+		out[i] = Candidate{Config: pr.lessMin, U: pr.u, Cu: pr.cu}
+	}
+	return out
+}
+
+// FrontierCandidates builds the index if needed and returns its
+// staircase candidates regardless of the engine's billing policy or
+// index opt-in: the (U, c_u) pair table and its staircase depend only
+// on the catalog (billing enters at query-time pricing), so horizon
+// solvers can reuse one build even on per-hour engines, where the
+// per-query index paths fall back to the scan, and on engines that
+// never opted their query surface in. ok is false when the catalog
+// does not compress under the pair cap.
+func (e *Engine) FrontierCandidates() ([]Candidate, bool) {
+	e.idxOnce.Do(func() {
+		e.idx = buildFrontierIndex(e)
+		e.idxReady.Store(e.idx != nil)
+		e.idxTried.Store(true)
+	})
+	if e.idx == nil {
+		return nil, false
+	}
+	return e.idx.Candidates(), true
+}
+
 // SetUseIndex opts the engine in (or out) of the frontier index. The
 // index is built lazily on the first routed query and reused by every
 // later one. Not safe to flip concurrently with queries: set it during
@@ -469,6 +513,7 @@ func (e *Engine) indexFor() *FrontierIndex {
 	e.idxOnce.Do(func() {
 		e.idx = buildFrontierIndex(e)
 		e.idxReady.Store(e.idx != nil)
+		e.idxTried.Store(true)
 	})
 	return e.idx
 }
@@ -493,4 +538,29 @@ func (e *Engine) FrontierIndex() (*FrontierIndex, bool) {
 // pointer read after the build's completing store.
 func (e *Engine) IndexBuilt() bool {
 	return e.useIndex && e.billing != model.PerHour && e.idxReady.Load()
+}
+
+// FrontierBuilt reports whether the billing-independent pair table and
+// staircase exist (built by any path, including FrontierCandidates),
+// without triggering a build. Distinct from IndexBuilt: a per-hour
+// engine's per-query paths bypass the index, yet a horizon solve on it
+// is still index-backed.
+func (e *Engine) FrontierBuilt() bool { return e.idxReady.Load() }
+
+// IndexBypassReason explains why analytic queries on this engine are
+// (or would be) answered by the exhaustive scan instead of the
+// frontier index. It returns "" when the index path is active or will
+// activate on the first routed query, and never triggers a build
+// itself, so operators can probe it at startup for free.
+func (e *Engine) IndexBypassReason() string {
+	switch {
+	case !e.useIndex:
+		return "index disabled for this engine"
+	case e.billing == model.PerHour:
+		return "per-hour billing breaks demand invariance; every query falls back to the exhaustive scan"
+	case e.idxTried.Load() && !e.idxReady.Load():
+		return "catalog did not compress under the pair cap; queries fall back to the exhaustive scan"
+	default:
+		return ""
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/apps/galaxy"
@@ -375,5 +376,99 @@ func TestIndexGoldenPaperSpaceSand(t *testing.T) {
 	if got.Feasible != 543966 || len(got.Frontier) != 51 {
 		t.Errorf("sand census = %d feasible, %d frontier; want 543966, 51",
 			got.Feasible, len(got.Frontier))
+	}
+}
+
+func TestFrontierCandidatesStaircase(t *testing.T) {
+	eng := indexedEngine(t, galaxy.App{}, 2)
+	cands, ok := eng.FrontierCandidates()
+	if !ok || len(cands) == 0 {
+		t.Fatalf("no candidates from an indexable catalog: ok=%v n=%d", ok, len(cands))
+	}
+	for i, c := range cands {
+		if c.Config.IsEmpty() || c.U <= 0 || c.Cu <= 0 {
+			t.Fatalf("candidate %d degenerate: %+v", i, c)
+		}
+		if i == 0 {
+			continue
+		}
+		// The staircase is the lower cost envelope over capacity:
+		// walking down in U must also walk down in c_u, or the
+		// higher-capacity entry would dominate this one.
+		if cands[i].U >= cands[i-1].U {
+			t.Fatalf("candidate %d capacity %v not below %v", i, cands[i].U, cands[i-1].U)
+		}
+		if cands[i].Cu >= cands[i-1].Cu {
+			t.Fatalf("candidate %d cost rate %v not below %v (dominated entry)", i, cands[i].Cu, cands[i-1].Cu)
+		}
+	}
+}
+
+func TestFrontierCandidatesIgnoreBillingAndOptIn(t *testing.T) {
+	// Neither per-hour billing nor a missing opt-in blocks the build:
+	// the staircase depends only on the catalog, so horizon solvers
+	// get the same candidates the per-second index serves.
+	ref := indexedEngine(t, galaxy.App{}, 2)
+	want, ok := ref.FrontierCandidates()
+	if !ok {
+		t.Fatal("reference engine did not index")
+	}
+	eng := smallEngine(t, galaxy.App{}, 2) // never opted in
+	eng.SetBilling(model.PerHour)
+	if eng.FrontierBuilt() {
+		t.Fatal("FrontierBuilt before any build was requested")
+	}
+	got, ok := eng.FrontierCandidates()
+	if !ok {
+		t.Fatal("per-hour engine refused to build the frontier")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("candidates depend on billing/opt-in:\n%+v\n%+v", got, want)
+	}
+	if !eng.FrontierBuilt() {
+		t.Fatal("FrontierBuilt false after a successful build")
+	}
+	if eng.IndexActive() {
+		t.Fatal("per-hour query path claims the index despite the scan fallback")
+	}
+}
+
+func TestIndexBypassReason(t *testing.T) {
+	optedOut := smallEngine(t, galaxy.App{}, 1)
+	if got := optedOut.IndexBypassReason(); got != "index disabled for this engine" {
+		t.Fatalf("opted-out reason = %q", got)
+	}
+
+	perHour := indexedEngine(t, galaxy.App{}, 1)
+	perHour.SetBilling(model.PerHour)
+	if got := perHour.IndexBypassReason(); got == "" || !strings.Contains(got, "per-hour") {
+		t.Fatalf("per-hour reason = %q", got)
+	}
+
+	active := indexedEngine(t, galaxy.App{}, 1)
+	if got := active.IndexBypassReason(); got != "" {
+		t.Fatalf("healthy engine reports bypass before build: %q", got)
+	}
+	if _, ok := active.FrontierCandidates(); !ok {
+		t.Fatal("small catalog did not index")
+	}
+	if got := active.IndexBypassReason(); got != "" {
+		t.Fatalf("healthy engine reports bypass after build: %q", got)
+	}
+
+	old := maxIndexPairs
+	maxIndexPairs = 2
+	defer func() { maxIndexPairs = old }()
+	overflow := indexedEngine(t, galaxy.App{}, 1)
+	// Probing never builds: the overflow is invisible until a query
+	// (or a horizon solve) actually tries.
+	if got := overflow.IndexBypassReason(); got != "" {
+		t.Fatalf("untried engine reports bypass: %q", got)
+	}
+	if _, ok := overflow.FrontierCandidates(); ok {
+		t.Fatal("catalog compressed under a 2-pair cap")
+	}
+	if got := overflow.IndexBypassReason(); !strings.Contains(got, "did not compress") {
+		t.Fatalf("overflow reason = %q", got)
 	}
 }

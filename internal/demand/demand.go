@@ -74,7 +74,7 @@ type Model struct {
 	Bases   []Basis
 	Coeffs  []float64
 	R2      float64 // goodness of fit (1 for analytic models)
-	source  func(n, a float64) float64
+	source  func(n, a float64) units.Instructions
 }
 
 // FromFit builds a model from fitted coefficients.
@@ -88,26 +88,30 @@ func FromFit(appName string, bases []Basis, coeffs []float64, r2 float64) (Model
 // FromFunc wraps an arbitrary demand function (used for ground-truth
 // models in tests and for the analytic forms of the apps).
 func FromFunc(appName string, f func(n, a float64) float64) Model {
-	return Model{AppName: appName, R2: 1, source: f}
+	return Model{AppName: appName, R2: 1, source: func(n, a float64) units.Instructions {
+		return units.Instructions(f(n, a))
+	}}
 }
 
 // FromApp wraps an application's ground-truth demand law.
 func FromApp(app workload.App) Model {
-	return FromFunc(app.Name(), func(n, a float64) float64 {
-		return float64(app.Demand(workload.Params{N: n, A: a}))
-	})
+	return Model{AppName: app.Name(), R2: 1, source: func(n, a float64) units.Instructions {
+		return app.Demand(workload.Params{N: n, A: a})
+	}}
 }
 
 // Demand evaluates the model at p. Negative predictions (possible from
 // a fit extrapolated far outside its data) are clamped to zero.
 func (m Model) Demand(p workload.Params) units.Instructions {
-	var d float64
 	if m.source != nil {
-		d = m.source(p.N, p.A)
-	} else {
-		for k, b := range m.Bases {
-			d += m.Coeffs[k] * b.Eval(p.N, p.A)
+		if d := m.source(p.N, p.A); d > 0 {
+			return d
 		}
+		return 0
+	}
+	var d float64
+	for k, b := range m.Bases {
+		d += m.Coeffs[k] * b.Eval(p.N, p.A)
 	}
 	if d < 0 {
 		return 0

@@ -1,0 +1,31 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/apps/galaxy"
+	"repro/internal/core"
+	"repro/internal/demand"
+)
+
+// BenchmarkScheduleSolveDiurnal1k times the DP over the 1,000-step
+// golden diurnal trace with the frontier index pre-built — the number
+// cmd/celia-bench compares against 1,000 independent exhaustive scans.
+func BenchmarkScheduleSolveDiurnal1k(b *testing.B) {
+	eng := core.NewPaperEngine(galaxy.App{})
+	if _, ok := eng.FrontierCandidates(); !ok {
+		b.Fatal("paper catalog did not compress into a frontier index")
+	}
+	tr := demand.GoldenDiurnal()
+	pol := PolicyFor(eng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched, err := Solve(eng, tr, pol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sched.Misses != 0 {
+			b.Fatalf("golden trace missed %d steps", sched.Misses)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Deadline-risk over a schedule: the per-step hook into the existing
+// faults/risk Monte-Carlo, so a solved schedule can report not just
+// analytic slack but the probability each step blows its deadline
+// under instance failures.
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/demand"
+	"repro/internal/detrand"
+	"repro/internal/faults"
+	"repro/internal/faults/risk"
+	"repro/internal/workload"
+)
+
+// MaxRiskSteps caps how many steps one timeline may sample: each
+// sampled step is a full Monte-Carlo estimate, so an uncapped
+// 100k-step trace would be hours of simulation inside one request.
+const MaxRiskSteps = 256
+
+// RiskOptions configure a schedule's risk timeline.
+type RiskOptions struct {
+	// HazardPerHour is the per-instance-hour failure rate λ.
+	HazardPerHour float64
+	// Trials per sampled step; 0 means risk.DefaultTrials.
+	Trials int
+	// Every samples each Every-th step (1 = every step); <=0 means 1.
+	// Idle steps (no demand or no nodes) are never sampled.
+	Every int
+	// Seed drives the Monte-Carlo; step t's estimate is seeded with
+	// detrand.Mix(Seed, t), so the timeline replays exactly and
+	// sampling density does not shift the per-step streams.
+	Seed uint64
+}
+
+// RiskPoint is one sampled step of a risk timeline.
+type RiskPoint struct {
+	T               int
+	MissProbability float64
+	Trials          int
+}
+
+// RiskTimeline runs the faults/risk estimator over the sampled steps
+// of a solved schedule: step t's problem (n_t, a) on step t's
+// configuration against the step length as deadline. The schedule must
+// come from the same trace.
+func RiskTimeline(app workload.App, eng *core.Engine, tr demand.Trace, sched Schedule, opts RiskOptions) ([]RiskPoint, error) {
+	if len(sched.Steps) != tr.Steps() {
+		return nil, fmt.Errorf("schedule: risk timeline: schedule has %d steps, trace %d", len(sched.Steps), tr.Steps())
+	}
+	every := opts.Every
+	if every <= 0 {
+		every = 1
+	}
+	sampled := 0
+	for t := 0; t < tr.Steps(); t += every {
+		if sched.Steps[t].Demand > 0 && !sched.Steps[t].Config.IsEmpty() {
+			sampled++
+		}
+	}
+	if sampled > MaxRiskSteps {
+		return nil, fmt.Errorf("schedule: risk timeline would sample %d steps, cap is %d; raise RiskOptions.Every", sampled, MaxRiskSteps)
+	}
+	cat := eng.Capacities().Catalog()
+	points := make([]RiskPoint, 0, sampled)
+	for t := 0; t < tr.Steps(); t += every {
+		st := sched.Steps[t]
+		if st.Demand <= 0 || st.Config.IsEmpty() {
+			continue
+		}
+		est, err := risk.Estimate(app, tr.Params(t), st.Config, cat, risk.Options{
+			Trials:        opts.Trials,
+			Seed:          detrand.Mix(opts.Seed, t),
+			HazardPerHour: opts.HazardPerHour,
+			Deadline:      tr.Step,
+			Sim:           cloudsim.DefaultOptions(),
+			Recovery:      faults.DefaultRecovery(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("schedule: risk timeline step %d: %w", t, err)
+		}
+		points = append(points, RiskPoint{T: t, MissProbability: est.MissProb, Trials: est.Trials})
+	}
+	return points, nil
+}

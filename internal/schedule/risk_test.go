@@ -1,0 +1,61 @@
+package schedule
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/apps/galaxy"
+	"repro/internal/model"
+)
+
+func TestRiskTimeline(t *testing.T) {
+	tr := testTrace(12)
+	tr.N[4] = 0 // idle step never sampled
+	eng := testEngine(t, 2, model.PerSecond)
+	sched, err := Solve(eng, tr, Policy{Boot: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := RiskOptions{HazardPerHour: 0.05, Trials: 20, Every: 2, Seed: 11}
+	points, err := RiskTimeline(galaxy.App{}, eng, tr, sched, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no sampled steps")
+	}
+	for _, pt := range points {
+		if pt.T%2 != 0 || pt.T == 4 {
+			t.Fatalf("sampled step %d, want even non-idle steps only", pt.T)
+		}
+		if pt.Trials != 20 {
+			t.Fatalf("step %d ran %d trials, want 20", pt.T, pt.Trials)
+		}
+		if pt.MissProbability < 0 || pt.MissProbability > 1 {
+			t.Fatalf("step %d miss probability %v", pt.T, pt.MissProbability)
+		}
+	}
+	again, err := RiskTimeline(galaxy.App{}, eng, tr, sched, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(points, again) {
+		t.Fatal("risk timeline is not deterministic")
+	}
+}
+
+func TestRiskTimelineCaps(t *testing.T) {
+	tr := testTrace(MaxRiskSteps + 10)
+	eng := testEngine(t, 2, model.PerSecond)
+	sched, err := Solve(eng, tr, Policy{Boot: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RiskTimeline(galaxy.App{}, eng, tr, sched, RiskOptions{Every: 1}); err == nil {
+		t.Fatal("oversampled timeline accepted")
+	}
+	short := testTrace(8)
+	if _, err := RiskTimeline(galaxy.App{}, eng, short, sched, RiskOptions{}); err == nil {
+		t.Fatal("trace/schedule length mismatch accepted")
+	}
+}

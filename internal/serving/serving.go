@@ -138,6 +138,11 @@ type Query struct {
 	// Config pins an explicit configuration tuple (canonical "n1,...,n9"
 	// form); empty means "solve for the cheapest deadline-feasible one".
 	Config string
+	// Extra carries kind-specific key material that does not fit the
+	// shared fields — for Kind "schedule", the demand-trace hash and
+	// the policy digest. Callers must render it canonically: two
+	// requests with the same Extra (and other fields) share a result.
+	Extra string
 }
 
 // CacheStatus reports how a Do call was served.
@@ -186,15 +191,27 @@ type Frontdoor struct {
 }
 
 // AnalyticKind reports whether kind is answered by the engine's
-// analytic query surface (Analyze and the argmin searches) — the kinds
-// the frontier index can serve. Monte-Carlo kinds like "risk" never
-// touch the index.
+// analytic query surface (Analyze, the argmin searches, and the
+// horizon solver) — the kinds the frontier index can serve.
+// Monte-Carlo kinds like "risk" never touch the index.
 func AnalyticKind(kind string) bool {
 	switch kind {
-	case "analyze", "mincost", "mintime", "maxaccuracy":
+	case "analyze", "mincost", "mintime", "maxaccuracy", "schedule":
 		return true
 	}
 	return false
+}
+
+// indexBacked reports whether a leader compute of this kind actually
+// ran against the index. Per-query kinds need the engine's routed
+// index (per-second billing, opted in); a "schedule" solve reuses the
+// billing-independent staircase, so it is index-backed whenever that
+// build succeeded.
+func indexBacked(kind string, eng *core.Engine) bool {
+	if kind == "schedule" {
+		return eng.FrontierBuilt()
+	}
+	return eng.IndexBuilt()
 }
 
 // NewFrontdoor validates the configuration and wraps the given engines.
@@ -279,6 +296,8 @@ func (f *Frontdoor) key(q Query, eng *core.Engine) string {
 	b.WriteByte('|')
 	b.WriteString(q.Config)
 	b.WriteByte('|')
+	b.WriteString(q.Extra)
+	b.WriteByte('|')
 	b.WriteString(strconv.Itoa(int(eng.Billing())))
 	return b.String()
 }
@@ -326,7 +345,7 @@ func (f *Frontdoor) Do(ctx context.Context, q Query, compute func(*core.Engine) 
 	if err == nil && AnalyticKind(q.Kind) {
 		// Leader-only accounting: cache hits and coalesced followers
 		// never consult the index, so counting them would overstate it.
-		if eng.IndexBuilt() {
+		if indexBacked(q.Kind, eng) {
 			f.idxServed.Inc()
 			f.refreshIndexGauges()
 		} else {

@@ -428,7 +428,7 @@ func TestFrontdoorIndexOptIn(t *testing.T) {
 }
 
 func TestAnalyticKind(t *testing.T) {
-	for _, kind := range []string{"analyze", "mincost", "mintime", "maxaccuracy"} {
+	for _, kind := range []string{"analyze", "mincost", "mintime", "maxaccuracy", "schedule"} {
 		if !AnalyticKind(kind) {
 			t.Errorf("AnalyticKind(%q) = false", kind)
 		}
@@ -437,6 +437,31 @@ func TestAnalyticKind(t *testing.T) {
 		if AnalyticKind(kind) {
 			t.Errorf("AnalyticKind(%q) = true", kind)
 		}
+	}
+}
+
+func TestExtraPartitionsCacheKeys(t *testing.T) {
+	f := newTestFrontdoor(t, Config{})
+	base := Query{Kind: "schedule", App: "galaxy", Seed: 7,
+		Extra: "aaaa|boot=120|every=8|cap=1000"}
+	other := base
+	other.Extra = "bbbb|boot=120|every=8|cap=1000"
+
+	for i, q := range []Query{base, other} {
+		want := []byte(fmt.Sprintf("sched-%d", i))
+		val, status, err := f.Do(context.Background(), q, func(*core.Engine) ([]byte, error) {
+			return want, nil
+		})
+		if err != nil || status != StatusMiss || !bytes.Equal(val, want) {
+			t.Fatalf("variant %d: val %q status %v err %v (Extra collided in the key)", i, val, status, err)
+		}
+	}
+	val, status, err := f.Do(context.Background(), base, func(*core.Engine) ([]byte, error) {
+		t.Fatal("cache miss on repeated schedule query")
+		return nil, nil
+	})
+	if err != nil || status != StatusHit || string(val) != "sched-0" {
+		t.Fatalf("repeat schedule query: val %q status %v err %v", val, status, err)
 	}
 }
 
