@@ -649,7 +649,7 @@ func BenchmarkServingColdVsCached(b *testing.B) {
 	engines := map[string]*core.Engine{"galaxy": core.NewPaperEngine(galaxy.App{})}
 	q := serving.Query{Kind: "analyze", App: "galaxy", N: 65536, A: 8000,
 		DeadlineHours: 24, BudgetUSD: 350}
-	compute := func(eng *core.Engine) ([]byte, error) {
+	compute := func(_ context.Context, eng *core.Engine) ([]byte, error) {
 		an, err := eng.Analyze(workload.Params{N: q.N, A: q.A}, core.Constraints{
 			Deadline: q.DeadlineHours.Seconds(), Budget: q.BudgetUSD,
 		}, core.Options{})

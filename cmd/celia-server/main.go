@@ -55,6 +55,7 @@ func main() {
 		reqTO    = flag.Duration("request-timeout", 60*time.Second, "per-request deadline from admission to completion")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
 		index    = flag.Bool("index", true, "answer analytic queries from the frontier index (built lazily per engine; per-hour billing always scans)")
+		snapDir  = flag.String("snapshot-dir", "", "directory of frontier-index snapshots: restored at startup (skipping the multi-second build) and rewritten after background rebuilds; empty disables persistence")
 	)
 	flag.Parse()
 
@@ -107,9 +108,22 @@ func main() {
 		QueueDepth:     *queue,
 		RequestTimeout: *reqTO,
 		DisableIndex:   !*index,
+		SnapshotDir:    *snapDir,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *snapDir != "" && *index {
+		// Missing/corrupt/stale artifacts are not fatal: the app serves
+		// from the exhaustive scan in declared degraded mode while a
+		// panic-isolated background rebuild restores the index and
+		// rewrites the snapshot (degradation ladder, DESIGN.md §11).
+		for app, err := range fd.LoadSnapshots() {
+			log.Printf("warning: %s: %v (degraded: serving from scan until rebuild completes)", app, err)
+		}
+		for app, st := range fd.IndexStatuses() {
+			log.Printf("index %s: %s%s", app, st.State, suffixReason(st.Reason))
+		}
 	}
 	if *index {
 		// The frontdoor opted every engine in above; a non-empty reason
@@ -160,6 +174,17 @@ func main() {
 		if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
+		// Join background index rebuilds so a final snapshot save is not
+		// torn by process exit (the write itself is atomic regardless).
+		fd.Wait()
 		log.Printf("drained, bye")
 	}
+}
+
+// suffixReason formats an optional status reason for startup logs.
+func suffixReason(reason string) string {
+	if reason == "" {
+		return ""
+	}
+	return " (" + reason + ")"
 }

@@ -31,11 +31,21 @@
 //   - Responses carry an X-Cache header (hit, miss, or coalesced).
 //   - Query responses carry an X-Index header: "on" when the mounted
 //     engine answers this kind of query from its built frontier index
-//     (byte-identical to the exhaustive scan), "off" for scan-backed
-//     answers, Monte-Carlo kinds, and before the lazy index build.
-//     Schedule responses report "on" whenever the billing-independent
-//     staircase exists — a per-hour engine bypasses the index for
-//     per-query kinds but still solves schedules from it.
+//     (byte-identical to the exhaustive scan), "degraded" when the app
+//     is in the declared degraded state (index unavailable, serving
+//     from the exhaustive scan until the background rebuild lands),
+//     "off" for scan-backed answers, Monte-Carlo kinds, and before the
+//     lazy index build. Schedule responses report "on" whenever the
+//     billing-independent staircase exists — a per-hour engine bypasses
+//     the index for per-query kinds but still solves schedules from it.
+//   - GET /readyz reports per-app index lifecycle state (pending /
+//     building / built / degraded / bypassed, with the reason) in its
+//     JSON body; the top-level status is "degraded" (still 200 — the
+//     app answers correctly, just slower) when any app serves from the
+//     scan in degraded mode, and 503 "draining" during shutdown.
+//   - Request deadlines propagate into the compute: a scan-path query
+//     that outlives its request context aborts cooperatively and
+//     returns 503 with Retry-After instead of hogging a worker.
 package api
 
 import (
@@ -192,12 +202,27 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// readyBody is the /readyz response: overall status plus the per-app
+// index lifecycle, so operators and probes see degradation declared
+// rather than discovering it as latency.
+type readyBody struct {
+	Status string                         `json:"status"`
+	Index  map[string]serving.IndexStatus `json:"index"`
+}
+
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	body := readyBody{Status: "ready", Index: s.fd.IndexStatuses()}
+	if s.fd.Degraded() {
+		// Degraded is still ready: answers are correct (scan-backed),
+		// only slower, so load balancers should keep routing here.
+		body.Status = "degraded"
+	}
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		body.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	writeJSON(w, http.StatusOK, body)
 }
 
 // AppIndexStatus reports, per mounted engine, whether analytic queries
@@ -255,8 +280,10 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request) (Request, bool) 
 	return req, true
 }
 
-// serve runs a query through the frontdoor and writes the outcome.
-func (s *Server) serve(w http.ResponseWriter, r *http.Request, q serving.Query, compute func(*core.Engine) ([]byte, error)) {
+// serve runs a query through the frontdoor and writes the outcome. The
+// request context flows into compute so scan-path queries abort when
+// the client goes away or the deadline passes.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, q serving.Query, compute func(context.Context, *core.Engine) ([]byte, error)) {
 	body, status, err := s.fd.Do(r.Context(), q, compute)
 	if err != nil {
 		s.writeError(w, err)
@@ -273,7 +300,8 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, q serving.Query, 
 // frontier index for this kind of query. IndexBuilt never triggers the
 // multi-second build, so cache hits stay pure memory reads; "on" means
 // the response either came from the index or is byte-identical to what
-// the index serves.
+// the index serves; "degraded" means the app is in a declared degraded
+// or rebuilding state and the response came from the exhaustive scan.
 func (s *Server) indexHeader(q serving.Query) string {
 	eng, ok := s.fd.Engine(q.App)
 	if !ok || !serving.AnalyticKind(q.Kind) {
@@ -289,6 +317,10 @@ func (s *Server) indexHeader(q serving.Query) string {
 	}
 	if eng.IndexBuilt() {
 		return "on"
+	}
+	if st, ok := s.fd.IndexStatusFor(q.App); ok &&
+		(st.State == serving.IndexDegraded || st.State == serving.IndexBuilding) {
+		return "degraded"
 	}
 	return "off"
 }
@@ -307,6 +339,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, serving.ErrInternal):
 		writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{err.Error()})
 	default:
 		writeJSON(w, http.StatusUnprocessableEntity, errorBody{err.Error()})
@@ -324,8 +357,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	q := serving.Query{Kind: "analyze", App: req.App, N: req.N, A: req.A,
 		DeadlineHours: req.DeadlineH, BudgetUSD: req.BudgetUSD, MaxFrontier: maxRows}
-	s.serve(w, r, q, func(eng *core.Engine) ([]byte, error) {
-		an, err := eng.Analyze(workload.Params{N: req.N, A: req.A}, core.Constraints{
+	s.serve(w, r, q, func(ctx context.Context, eng *core.Engine) ([]byte, error) {
+		an, err := eng.AnalyzeContext(ctx, workload.Params{N: req.N, A: req.A}, core.Constraints{
 			Deadline: req.DeadlineH.Seconds(),
 			Budget:   req.BudgetUSD,
 		}, core.Options{})
@@ -359,8 +392,8 @@ func (s *Server) handleMinCost(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := serving.Query{Kind: "mincost", App: req.App, N: req.N, A: req.A, DeadlineHours: req.DeadlineH}
-	s.serve(w, r, q, func(eng *core.Engine) ([]byte, error) {
-		pred, feasible, err := eng.MinCostForDeadline(workload.Params{N: req.N, A: req.A},
+	s.serve(w, r, q, func(ctx context.Context, eng *core.Engine) ([]byte, error) {
+		pred, feasible, err := eng.MinCostForDeadlineContext(ctx, workload.Params{N: req.N, A: req.A},
 			req.DeadlineH.Seconds())
 		if err != nil {
 			return nil, err
@@ -387,8 +420,8 @@ func (s *Server) handleMinTime(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := serving.Query{Kind: "mintime", App: req.App, N: req.N, A: req.A, BudgetUSD: req.BudgetUSD}
-	s.serve(w, r, q, func(eng *core.Engine) ([]byte, error) {
-		pred, feasible, err := eng.MinTimeForBudget(workload.Params{N: req.N, A: req.A},
+	s.serve(w, r, q, func(ctx context.Context, eng *core.Engine) ([]byte, error) {
+		pred, feasible, err := eng.MinTimeForBudgetContext(ctx, workload.Params{N: req.N, A: req.A},
 			req.BudgetUSD)
 		if err != nil {
 			return nil, err
@@ -416,8 +449,8 @@ func (s *Server) handleMaxAccuracy(w http.ResponseWriter, r *http.Request) {
 	}
 	q := serving.Query{Kind: "maxaccuracy", App: req.App, N: req.N,
 		DeadlineHours: req.DeadlineH, BudgetUSD: req.BudgetUSD}
-	s.serve(w, r, q, func(eng *core.Engine) ([]byte, error) {
-		p, pred, feasible, err := eng.MaxAccuracy(req.N, core.Constraints{
+	s.serve(w, r, q, func(ctx context.Context, eng *core.Engine) ([]byte, error) {
+		p, pred, feasible, err := eng.MaxAccuracyContext(ctx, req.N, core.Constraints{
 			Deadline: req.DeadlineH.Seconds(),
 			Budget:   req.BudgetUSD,
 		}, 1e-3)
@@ -538,11 +571,11 @@ func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
 		DeadlineHours: req.DeadlineH, HazardPerHour: req.HazardPerHour,
 		Trials: trials, Seed: req.Seed, Config: canonicalConfig(req.Config)}
 	trialsRun := s.reg.Counter("risk.trials")
-	s.serve(w, r, q, func(eng *core.Engine) ([]byte, error) {
+	s.serve(w, r, q, func(ctx context.Context, eng *core.Engine) ([]byte, error) {
 		p := workload.Params{N: req.N, A: req.A}
 		t := tuple
 		if len(req.Config) == 0 {
-			pred, feasible, err := eng.MinCostForDeadline(p, req.DeadlineH.Seconds())
+			pred, feasible, err := eng.MinCostForDeadlineContext(ctx, p, req.DeadlineH.Seconds())
 			if err != nil {
 				return nil, err
 			}
@@ -715,7 +748,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	solves := s.reg.Counter("serving.schedule.solves")
 	stepsSolved := s.reg.Counter("serving.schedule.steps")
 	riskSteps := s.reg.Counter("serving.schedule.risk_steps")
-	s.serve(w, r, q, func(eng *core.Engine) ([]byte, error) {
+	s.serve(w, r, q, func(_ context.Context, eng *core.Engine) ([]byte, error) {
 		pol := schedule.PolicyFor(eng)
 		pol.Boot = boot
 		solved, err := schedule.Solve(eng, req.Trace, pol)

@@ -1,0 +1,151 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/apps/galaxy"
+	"repro/internal/chaos"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/demand"
+	"repro/internal/ec2"
+	"repro/internal/model"
+	"repro/internal/serving"
+)
+
+// smallEngine is an index-eligible engine over a 3^9 space so lifecycle
+// tests never pay the paper-scale build.
+func smallEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	cat := ec2.Oregon()
+	space, err := config.Uniform(cat.Len(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(model.FromIPC(cat, galaxy.App{}), demand.FromApp(galaxy.App{}), space, galaxy.App{}.Domain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestReadyzReportsIndexLifecycle asserts the /readyz body contract:
+// per-app index state with the reason, top-level "degraded" (still 200)
+// while an app serves from the scan, and "ready" when healthy.
+func TestReadyzReportsIndexLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	fd, err := serving.NewFrontdoor(map[string]*core.Engine{"galaxy": smallEngine(t)},
+		serving.Config{SnapshotDir: dir, Rebuild: chaos.FailRebuild()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd.LoadSnapshots() // no artifact → degraded
+	fd.Wait()          // injected rebuild failure → stays degraded
+	s, err := NewServer(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	var body struct {
+		Status string `json:"status"`
+		Index  map[string]struct {
+			State  string `json:"state"`
+			Reason string `json:"reason"`
+		} `json:"index"`
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d while degraded, want 200 (degraded still answers)", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "degraded" {
+		t.Fatalf("status = %q, want degraded", body.Status)
+	}
+	st, ok := body.Index["galaxy"]
+	if !ok || st.State != "degraded" || !strings.Contains(st.Reason, "rebuild failed") {
+		t.Fatalf("index.galaxy = %+v, want degraded with a rebuild-failed reason", st)
+	}
+
+	// A healthy frontdoor reports ready with the app pending (no query
+	// has triggered the lazy build yet).
+	healthy, err := serving.NewFrontdoor(map[string]*core.Engine{"galaxy": smallEngine(t)}, serving.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := NewServer(healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hts := httptest.NewServer(hs)
+	t.Cleanup(hts.Close)
+	resp2, err := http.Get(hts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body.Index = nil
+	if err := json.NewDecoder(resp2.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ready" || body.Index["galaxy"].State != "pending" {
+		t.Fatalf("healthy /readyz = %q/%+v, want ready/pending", body.Status, body.Index["galaxy"])
+	}
+}
+
+// TestIndexHeaderDegraded: a query against a declared-degraded app
+// carries X-Index: degraded so clients can tell a scan-backed answer
+// from an indexed one.
+func TestIndexHeaderDegraded(t *testing.T) {
+	dir := t.TempDir()
+	fd, err := serving.NewFrontdoor(map[string]*core.Engine{"galaxy": smallEngine(t)},
+		serving.Config{SnapshotDir: dir, Rebuild: chaos.FailRebuild()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd.LoadSnapshots()
+	fd.Wait()
+	s, err := NewServer(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.indexHeader(serving.Query{Kind: "mincost", App: "galaxy"}); got != "degraded" {
+		t.Fatalf("X-Index = %q for a degraded app, want degraded", got)
+	}
+}
+
+// TestContextErrorGets503WithRetryAfter: a request that outlives its
+// context maps to 503 and tells the client when to come back.
+func TestContextErrorGets503WithRetryAfter(t *testing.T) {
+	fd, err := serving.NewFrontdoor(testEngines(), serving.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cause := range []error{context.DeadlineExceeded, context.Canceled} {
+		rec := httptest.NewRecorder()
+		s.writeError(rec, fmt.Errorf("core: query aborted: %w", cause))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%v mapped to %d, want 503", cause, rec.Code)
+		}
+		if ra := rec.Header().Get("Retry-After"); ra != "1" {
+			t.Fatalf("%v: Retry-After = %q, want 1", cause, ra)
+		}
+	}
+}

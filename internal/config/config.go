@@ -28,7 +28,7 @@ type Tuple struct {
 // NewTuple builds a tuple from explicit counts.
 func NewTuple(counts []int) (Tuple, error) {
 	if len(counts) == 0 || len(counts) > MaxTypes {
-		return Tuple{}, fmt.Errorf("config: tuple arity %d outside [1, %d]", len(counts), MaxTypes)
+		return Tuple{}, badArity(len(counts))
 	}
 	var t Tuple
 	t.m = uint8(len(counts))
@@ -39,6 +39,25 @@ func NewTuple(counts []int) (Tuple, error) {
 		t.counts[i] = uint8(c)
 	}
 	return t, nil
+}
+
+// TupleFromBytes builds a tuple directly from per-type count bytes,
+// the snapshot decoder's hot path: the byte type already guarantees
+// every count is in [0, 255], so only the arity needs checking. The
+// error construction lives out of line so this inlines into the
+// decoder's per-pair loop.
+func TupleFromBytes(counts []byte) (Tuple, error) {
+	if len(counts) == 0 || len(counts) > MaxTypes {
+		return Tuple{}, badArity(len(counts))
+	}
+	var t Tuple
+	t.m = uint8(len(counts))
+	copy(t.counts[:], counts)
+	return t, nil
+}
+
+func badArity(n int) error {
+	return fmt.Errorf("config: tuple arity %d outside [1, %d]", n, MaxTypes)
 }
 
 // MustTuple is NewTuple for static test data; it panics on error.

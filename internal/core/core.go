@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -49,13 +50,17 @@ type Engine struct {
 	billing model.Billing
 
 	// Frontier-index state (see index.go): opt-in via SetUseIndex,
-	// built lazily at most once, nil when the build overflowed.
-	// idxReady flips after the build completes so observers (response
-	// headers, telemetry) can check state without triggering the
-	// multi-second build themselves.
+	// built lazily under idxMu, published through an atomic pointer so
+	// queries never block on a rebuild and InstallIndex/RebuildIndex can
+	// swap a new index in under live traffic (zero-downtime catalog
+	// updates, snapshot restores). nil pointer = no usable index (not
+	// yet built, or the build overflowed). idxReady flips after a
+	// build/install completes so observers (response headers, telemetry)
+	// can check state without triggering the multi-second build
+	// themselves; idxTried flips after the first attempt either way.
 	useIndex bool
-	idxOnce  sync.Once
-	idx      *FrontierIndex
+	idxMu    sync.Mutex
+	idx      atomic.Pointer[FrontierIndex]
 	idxReady atomic.Bool
 	idxTried atomic.Bool
 }
@@ -195,12 +200,31 @@ type Options struct {
 	SampleCap   int     // max sample size (default 4096)
 }
 
+// ctxPollMask throttles cancellation checks in the scan hot loops: each
+// worker consults ctx.Err() once per 8192 configurations, cheap enough
+// to be invisible in the scan benchmarks yet prompt enough that a
+// canceled multi-second walk returns within microseconds of real work.
+const ctxPollMask = 8192 - 1
+
+// errAborted wraps a context error so scan-path callers surface the
+// standard context sentinels (errors.Is works) under a package prefix.
+func errAborted(err error) error { return fmt.Errorf("core: query aborted: %w", err) }
+
 // Analyze runs Algorithm 1 over the entire space and Pareto-filters the
 // feasible set. Under per-second billing, an engine opted into the
 // frontier index (SetUseIndex) answers sampling-free censuses from the
 // precomputed pair table instead of re-walking the space; the two paths
 // produce byte-identical Analysis values (certified in index_test.go).
 func (e *Engine) Analyze(p workload.Params, cons Constraints, opts Options) (Analysis, error) {
+	return e.AnalyzeContext(context.Background(), p, cons, opts)
+}
+
+// AnalyzeContext is Analyze with cooperative cancellation: the
+// exhaustive scan path polls ctx between batches of configurations and
+// abandons the walk once the context is done, returning the wrapped
+// context error instead of a partial census. The index path answers in
+// microseconds and never needs to poll.
+func (e *Engine) AnalyzeContext(ctx context.Context, p workload.Params, cons Constraints, opts Options) (Analysis, error) {
 	d, err := e.Demand(p)
 	if err != nil {
 		return Analysis{}, err
@@ -217,7 +241,10 @@ func (e *Engine) Analyze(p workload.Params, cons Constraints, opts Options) (Ana
 		// aggregates away the individual feasible points.
 		an.Feasible, front = idx.census(e, d, cons)
 	} else {
-		front = e.scanCensus(&an, d, cons, opts)
+		front = e.scanCensus(ctx, &an, d, cons, opts)
+		if err := ctx.Err(); err != nil {
+			return Analysis{}, errAborted(err)
+		}
 	}
 	// A one-sided ε is honored per axis; the zero axis stays exact.
 	if opts.EpsTime > 0 || opts.EpsCost > 0 {
@@ -252,7 +279,7 @@ func (e *Engine) Analyze(p workload.Params, cons Constraints, opts Options) (Ana
 // scanCensus is Analyze's exhaustive path: a parallel streaming scan of
 // the whole space that never stores the feasible set. It fills the
 // feasible count and sample in an and returns the merged frontier.
-func (e *Engine) scanCensus(an *Analysis, d units.Instructions, cons Constraints, opts Options) []pareto.Point {
+func (e *Engine) scanCensus(ctx context.Context, an *Analysis, d units.Instructions, cons Constraints, opts Options) []pareto.Point {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -267,11 +294,25 @@ func (e *Engine) scanCensus(an *Analysis, d units.Instructions, cons Constraints
 	type shard struct {
 		stream   pareto.Stream2D
 		feasible uint64
+		seen     uint64
 		sample   []FrontierPoint
 	}
 	shards := make([]shard, workers)
+	var stop atomic.Bool
 
 	e.space.ForEachParallelIndexed(workers, func(worker int, idx uint64, t config.Tuple) {
+		if stop.Load() {
+			return
+		}
+		if sh := &shards[worker]; sh.seen&ctxPollMask == ctxPollMask {
+			sh.seen++
+			if ctx.Err() != nil {
+				stop.Store(true)
+				return
+			}
+		} else {
+			sh.seen++
+		}
 		var u units.Rate
 		var cu units.USDPerHour
 		for i := 0; i < t.Len(); i++ {
@@ -310,10 +351,19 @@ func (e *Engine) scanCensus(an *Analysis, d units.Instructions, cons Constraints
 // when it is active (per-second billing, opted in, built) and to the
 // decomposed search otherwise.
 func (e *Engine) searchBest(d units.Instructions, cons Constraints, obj objective) (model.Prediction, bool) {
+	pred, ok, _ := e.searchBestCtx(context.Background(), d, cons, obj)
+	return pred, ok
+}
+
+// searchBestCtx is searchBest with cooperative cancellation on the
+// scan fallback; the index and decomposed-merge paths are fast enough
+// to run to completion regardless.
+func (e *Engine) searchBestCtx(ctx context.Context, d units.Instructions, cons Constraints, obj objective) (model.Prediction, bool, error) {
 	if idx := e.indexFor(); idx != nil {
-		return idx.minSearch(e, d, cons, obj)
+		pred, ok := idx.minSearch(e, d, cons, obj)
+		return pred, ok, nil
 	}
-	return e.decomposedSearch(d, cons, obj)
+	return e.decomposedSearchCtx(ctx, d, cons, obj)
 }
 
 // MinCostForDeadline finds the cheapest configuration whose predicted
@@ -321,23 +371,33 @@ func (e *Engine) searchBest(d units.Instructions, cons Constraints, obj objectiv
 // the decomposed search otherwise. The second return is false when no
 // configuration can meet the deadline.
 func (e *Engine) MinCostForDeadline(p workload.Params, deadline units.Seconds) (model.Prediction, bool, error) {
+	return e.MinCostForDeadlineContext(context.Background(), p, deadline)
+}
+
+// MinCostForDeadlineContext is MinCostForDeadline with cooperative
+// cancellation on the scan fallback.
+func (e *Engine) MinCostForDeadlineContext(ctx context.Context, p workload.Params, deadline units.Seconds) (model.Prediction, bool, error) {
 	d, err := e.Demand(p)
 	if err != nil {
 		return model.Prediction{}, false, err
 	}
-	best, ok := e.searchBest(d, Constraints{Deadline: deadline}, objectiveCost)
-	return best, ok, nil
+	return e.searchBestCtx(ctx, d, Constraints{Deadline: deadline}, objectiveCost)
 }
 
 // MinTimeForBudget finds the fastest configuration whose predicted cost
 // stays within the budget.
 func (e *Engine) MinTimeForBudget(p workload.Params, budget units.USD) (model.Prediction, bool, error) {
+	return e.MinTimeForBudgetContext(context.Background(), p, budget)
+}
+
+// MinTimeForBudgetContext is MinTimeForBudget with cooperative
+// cancellation on the scan fallback.
+func (e *Engine) MinTimeForBudgetContext(ctx context.Context, p workload.Params, budget units.USD) (model.Prediction, bool, error) {
 	d, err := e.Demand(p)
 	if err != nil {
 		return model.Prediction{}, false, err
 	}
-	best, ok := e.searchBest(d, Constraints{Budget: budget}, objectiveTime)
-	return best, ok, nil
+	return e.searchBestCtx(ctx, d, Constraints{Budget: budget}, objectiveTime)
 }
 
 // MinCostExhaustive is the exhaustive counterpart of MinCostForDeadline
@@ -418,6 +478,11 @@ type catCombo struct {
 // assumes the catalog groups into the three paper categories; for
 // other catalogs, callers should use the exhaustive path.
 func (e *Engine) decomposedSearch(d units.Instructions, cons Constraints, obj objective) (model.Prediction, bool) {
+	pred, ok, _ := e.decomposedSearchCtx(context.Background(), d, cons, obj)
+	return pred, ok
+}
+
+func (e *Engine) decomposedSearchCtx(ctx context.Context, d units.Instructions, cons Constraints, obj objective) (model.Prediction, bool, error) {
 	cat := e.caps.Catalog()
 	groups := make([][]int, 0, 3)
 	for _, c := range cat.CategoryNames() {
@@ -426,11 +491,11 @@ func (e *Engine) decomposedSearch(d units.Instructions, cons Constraints, obj ob
 	// The fast merge is shaped for the paper's 3-categories × ≤3-types
 	// structure; fall back to a full scan for other catalogs.
 	if len(groups) > 3 {
-		return e.scanSearch(d, cons, obj)
+		return e.scanSearchCtx(ctx, d, cons, obj)
 	}
 	for _, g := range groups {
 		if len(g) > 3 {
-			return e.scanSearch(d, cons, obj)
+			return e.scanSearchCtx(ctx, d, cons, obj)
 		}
 	}
 	w, nodeCost := e.caps.NodeArrays()
@@ -507,9 +572,9 @@ func (e *Engine) decomposedSearch(d units.Instructions, cons Constraints, obj ob
 		}
 	}
 	if !found {
-		return model.Prediction{}, false
+		return model.Prediction{}, false, nil
 	}
-	return e.caps.PredictBilled(d, bestTuple, e.billing), true
+	return e.caps.PredictBilled(d, bestTuple, e.billing), true, nil
 }
 
 // orEmpty lets the merge loops run even when the catalog has fewer than
@@ -564,19 +629,38 @@ func pruneCombos(combos []catCombo) []catCombo {
 // scanSearch is the general single-objective search over the whole
 // space, used when the catalog does not fit the decomposed merge.
 func (e *Engine) scanSearch(d units.Instructions, cons Constraints, obj objective) (model.Prediction, bool) {
+	pred, ok, _ := e.scanSearchCtx(context.Background(), d, cons, obj)
+	return pred, ok
+}
+
+func (e *Engine) scanSearchCtx(ctx context.Context, d units.Instructions, cons Constraints, obj objective) (model.Prediction, bool, error) {
 	w, nodeCost := e.caps.NodeArrays()
 	deadline, budget := cons.deadlineOrInf(), cons.budgetOrInf()
 	workers := runtime.GOMAXPROCS(0)
 	type best struct {
-		val float64
-		t   config.Tuple
-		ok  bool
+		val  float64
+		t    config.Tuple
+		ok   bool
+		seen uint64
 	}
 	bests := make([]best, workers)
 	for i := range bests {
 		bests[i].val = math.Inf(1)
 	}
+	var stop atomic.Bool
 	e.space.ForEachParallel(workers, func(worker int, t config.Tuple) {
+		if stop.Load() {
+			return
+		}
+		if b := &bests[worker]; b.seen&ctxPollMask == ctxPollMask {
+			b.seen++
+			if ctx.Err() != nil {
+				stop.Store(true)
+				return
+			}
+		} else {
+			b.seen++
+		}
 		var u units.Rate
 		var cu units.USDPerHour
 		for i := 0; i < t.Len(); i++ {
@@ -602,6 +686,9 @@ func (e *Engine) scanSearch(d units.Instructions, cons Constraints, obj objectiv
 			b.val, b.t, b.ok = v, t, true
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return model.Prediction{}, false, errAborted(err)
+	}
 	out := best{val: math.Inf(1)}
 	for _, b := range bests {
 		//lint:allow floateq exact argmin tie: ulp-equal costs resolve lexicographically by tuple, deterministic either way
@@ -610,9 +697,9 @@ func (e *Engine) scanSearch(d units.Instructions, cons Constraints, obj objectiv
 		}
 	}
 	if !out.ok {
-		return model.Prediction{}, false
+		return model.Prediction{}, false, nil
 	}
-	return e.caps.PredictBilled(d, out.t, e.billing), true
+	return e.caps.PredictBilled(d, out.t, e.billing), true, nil
 }
 
 // MaxAccuracy finds the largest accuracy value a (within the app's
@@ -622,29 +709,46 @@ func (e *Engine) scanSearch(d units.Instructions, cons Constraints, obj objectiv
 // demand in a is assumed (true for all three paper applications);
 // binary search to within tol (relative).
 func (e *Engine) MaxAccuracy(n float64, cons Constraints, tol float64) (workload.Params, model.Prediction, bool, error) {
+	return e.MaxAccuracyContext(context.Background(), n, cons, tol)
+}
+
+// MaxAccuracyContext is MaxAccuracy with cooperative cancellation. The
+// bisection runs up to ~20 sequential searches; on a scan-fallback
+// engine that is the single most expensive query the serving path can
+// receive, so each probe checks ctx and the whole bisection aborts as
+// soon as the context is done.
+func (e *Engine) MaxAccuracyContext(ctx context.Context, n float64, cons Constraints, tol float64) (workload.Params, model.Prediction, bool, error) {
 	if tol <= 0 {
 		tol = 1e-3
 	}
 	lo, hi := e.domain.MinA, e.domain.MaxA
-	check := func(a float64) (model.Prediction, bool) {
+	check := func(a float64) (model.Prediction, bool, error) {
 		d, err := e.Demand(workload.Params{N: n, A: a})
 		if err != nil {
-			return model.Prediction{}, false
+			return model.Prediction{}, false, nil
 		}
-		pred, ok := e.searchBest(d, cons, objectiveCost)
-		return pred, ok
+		return e.searchBestCtx(ctx, d, cons, objectiveCost)
 	}
-	pred, ok := check(lo)
+	pred, ok, err := check(lo)
+	if err != nil {
+		return workload.Params{}, model.Prediction{}, false, err
+	}
 	if !ok {
 		return workload.Params{}, model.Prediction{}, false, nil
 	}
-	if p, ok := check(hi); ok {
+	if p, ok, err := check(hi); err != nil {
+		return workload.Params{}, model.Prediction{}, false, err
+	} else if ok {
 		return workload.Params{N: n, A: hi}, p, true, nil
 	}
 	bestA := lo
 	for hi-lo > tol*math.Max(1, hi) {
 		mid := (lo + hi) / 2
-		if p, ok := check(mid); ok {
+		p, ok, err := check(mid)
+		if err != nil {
+			return workload.Params{}, model.Prediction{}, false, err
+		}
+		if ok {
 			bestA, pred, lo = mid, p, mid
 		} else {
 			hi = mid

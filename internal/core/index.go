@@ -19,9 +19,10 @@
 package core
 
 import (
-	"bytes"
+	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -121,35 +122,69 @@ func (x *FrontierIndex) Stats() IndexStats {
 	}
 }
 
-// appendTupleString appends t.String()'s exact bytes without the
-// fmt/join allocations: '[', decimal counts, ',' separators, ']'.
-func appendTupleString(buf []byte, t config.Tuple) []byte {
-	buf = append(buf, '[')
-	for i := 0; i < t.Len(); i++ {
-		if i > 0 {
-			buf = append(buf, ',')
-		}
-		c := t.Count(i)
-		if c >= 100 {
-			buf = append(buf, byte('0'+c/100))
-			c %= 100
-			buf = append(buf, byte('0'+c/10), byte('0'+c%10))
-		} else if c >= 10 {
-			buf = append(buf, byte('0'+c/10), byte('0'+c%10))
-		} else {
-			buf = append(buf, byte('0'+c))
+// decTab holds the decimal rendering of every possible count byte so
+// the tuple comparator never divides.
+var decTab = func() (tab [256]struct {
+	d [3]byte
+	n uint8
+}) {
+	for c := 0; c < 256; c++ {
+		e := &tab[c]
+		switch {
+		case c >= 100:
+			e.d = [3]byte{byte('0' + c/100), byte('0' + c/10%10), byte('0' + c%10)}
+			e.n = 3
+		case c >= 10:
+			e.d = [3]byte{byte('0' + c/10), byte('0' + c%10)}
+			e.n = 2
+		default:
+			e.d = [3]byte{byte('0' + c)}
+			e.n = 1
 		}
 	}
-	return append(buf, ']')
+	return tab
+}()
+
+// lessDecimal orders two unequal count bytes the way their decimal
+// renderings sort inside a tuple string. When one rendering is a proper
+// prefix of the other, the next byte on the short side is that tuple's
+// separator: ',' (below every digit) mid-tuple, ']' (above every digit)
+// at the end — so 2 < 10 mid-tuple but 10 < 2 in the last position.
+func lessDecimal(ca, cb uint8, lastA, lastB bool) bool {
+	da, db := &decTab[ca], &decTab[cb]
+	n := da.n
+	if db.n < n {
+		n = db.n
+	}
+	for k := uint8(0); k < n; k++ {
+		if da.d[k] != db.d[k] {
+			return da.d[k] < db.d[k]
+		}
+	}
+	if da.n < db.n {
+		return !lastA // a's ',' sorts below b's digit; its ']' above
+	}
+	return lastB // b's ',' sorts below a's digit; its ']' above
 }
 
-// lessTupleFast is lessTuple without the two string allocations; the
+// lessTupleFast is lessTuple without building the two strings; the
 // index build calls it once per duplicate-pair configuration (~10M
-// times on the paper space). Equivalence to lessTuple is property-
-// tested in index_test.go.
+// times on the paper space) and the snapshot decoder once per restored
+// pair. Equivalence to lessTuple is property-tested in index_test.go.
 func lessTupleFast(a, b config.Tuple) bool {
-	var ba, bb [4*config.MaxTypes + 2]byte
-	return bytes.Compare(appendTupleString(ba[:0], a), appendTupleString(bb[:0], b)) < 0
+	ma, mb := a.Len(), b.Len()
+	m := ma
+	if mb < m {
+		m = mb
+	}
+	for i := 0; i < m; i++ {
+		if ca, cb := a.Count(i), b.Count(i); ca != cb {
+			return lessDecimal(uint8(ca), uint8(cb), i == ma-1, i == mb-1)
+		}
+	}
+	// The common prefix matches element-wise; the shorter tuple's ']'
+	// sorts above the longer one's next ',', so the longer sorts first.
+	return ma > mb
 }
 
 // buildFrontierIndex scans the whole space once, aggregating exact
@@ -219,49 +254,100 @@ func buildFrontierIndex(e *Engine) *FrontierIndex {
 			}
 		}
 	}
-	x := &FrontierIndex{
-		pairs: make([]idxPair, 0, len(merged)),
-		total: e.space.Size(),
-	}
+	pairs := make([]idxPair, 0, len(merged))
 	for _, agg := range merged {
 		//lint:allow nodeterm pairs are fully sorted below by their unique (u, cu) map key, so output order is total
-		x.pairs = append(x.pairs, *agg)
+		pairs = append(pairs, *agg)
 	}
-	sort.Slice(x.pairs, func(i, j int) bool {
-		if x.pairs[i].u != x.pairs[j].u {
-			return x.pairs[i].u < x.pairs[j].u
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].u != pairs[j].u {
+			return pairs[i].u < pairs[j].u
 		}
-		return x.pairs[i].cu < x.pairs[j].cu
+		return pairs[i].cu < pairs[j].cu
 	})
+	x := finishIndex(pairs, e.space.Size())
+	x.buildWall = time.Since(start)
+	return x
+}
+
+// finishIndex derives every secondary table — spans, prefix counts,
+// running tie-break minima, and the staircase — from a (u asc, cu asc)-
+// sorted pair table. Shared by the scan build above and the snapshot
+// decoder (index_codec.go): both produce the derived state through this
+// one code path, so a decoded index is structurally identical to the
+// freshly built one it was encoded from.
+func finishIndex(pairs []idxPair, total uint64) *FrontierIndex {
+	x := &FrontierIndex{pairs: pairs, total: total}
 
 	x.prefix = make([]uint64, len(x.pairs)+1)
 	x.spanLess = make([]config.Tuple, len(x.pairs))
 	x.spanMinIdx = make([]uint64, len(x.pairs))
-	for i := range x.pairs {
-		x.prefix[i+1] = x.prefix[i] + x.pairs[i].count
+	workers := runtime.GOMAXPROCS(0)
+	if most := 1 + len(x.pairs)/parallelCodecMin; workers > most {
+		workers = most
 	}
-	for i := 0; i < len(x.pairs); {
-		j := i + 1
-		//lint:allow floateq span grouping needs exact capacity identity: equal floats predict bit-equal times
-		for j < len(x.pairs) && x.pairs[j].u == x.pairs[i].u {
-			j++
-		}
-		x.spans = append(x.spans, idxSpan{u: x.pairs[i].u, start: i, end: j})
-		run := x.pairs[i].lessMin
-		runIdx := x.pairs[i].minIdx
-		x.spanLess[i] = run
-		x.spanMinIdx[i] = runIdx
-		for k := i + 1; k < j; k++ {
-			if lessTupleFast(x.pairs[k].lessMin, run) {
-				run = x.pairs[k].lessMin
+	if workers == 1 {
+		// One fused walk fills the prefix sums, the span table, and the
+		// running tie-break minima, touching the pair table exactly
+		// once; on snapshot restore this walk runs right after the
+		// decoder's parse pass, so a second full traversal is
+		// measurable.
+		for i := 0; i < len(x.pairs); {
+			run := x.pairs[i].lessMin
+			runIdx := x.pairs[i].minIdx
+			x.prefix[i+1] = x.prefix[i] + x.pairs[i].count
+			x.spanLess[i] = run
+			x.spanMinIdx[i] = runIdx
+			j := i + 1
+			//lint:allow floateq span grouping needs exact capacity identity: equal floats predict bit-equal times
+			for ; j < len(x.pairs) && x.pairs[j].u == x.pairs[i].u; j++ {
+				x.prefix[j+1] = x.prefix[j] + x.pairs[j].count
+				if lessTupleFast(x.pairs[j].lessMin, run) {
+					run = x.pairs[j].lessMin
+				}
+				if x.pairs[j].minIdx < runIdx {
+					runIdx = x.pairs[j].minIdx
+				}
+				x.spanLess[j] = run
+				x.spanMinIdx[j] = runIdx
 			}
-			if x.pairs[k].minIdx < runIdx {
-				runIdx = x.pairs[k].minIdx
-			}
-			x.spanLess[k] = run
-			x.spanMinIdx[k] = runIdx
+			x.spans = append(x.spans, idxSpan{u: x.pairs[i].u, start: i, end: j})
+			i = j
 		}
-		i = j
+	} else {
+		// Multi-core: a cheap serial pass finds the span boundaries and
+		// prefix sums, then the running-minima fill — the expensive part
+		// — proceeds per span in parallel. Spans are independent, so the
+		// result is identical to the fused walk (property-tested in
+		// index_test.go); keeping the derivation parallel matters
+		// because the build it is measured against parallelizes too.
+		for i := 0; i < len(x.pairs); {
+			x.prefix[i+1] = x.prefix[i] + x.pairs[i].count
+			j := i + 1
+			//lint:allow floateq span grouping needs exact capacity identity: equal floats predict bit-equal times
+			for ; j < len(x.pairs) && x.pairs[j].u == x.pairs[i].u; j++ {
+				x.prefix[j+1] = x.prefix[j] + x.pairs[j].count
+			}
+			x.spans = append(x.spans, idxSpan{u: x.pairs[i].u, start: i, end: j})
+			i = j
+		}
+		chunk := (len(x.spans) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > len(x.spans) {
+				hi = len(x.spans)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				x.fillSpanMinima(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
 	}
 
 	// Staircase: walk spans from the highest capacity down; a span's
@@ -277,8 +363,30 @@ func buildFrontierIndex(e *Engine) *FrontierIndex {
 			bestCu, haveBest = cheapest, true
 		}
 	}
-	x.buildWall = time.Since(start)
 	return x
+}
+
+// fillSpanMinima computes the running lessTuple / minimal-index minima
+// for every pair inside spans [lo, hi); spans touch disjoint pair
+// ranges, so concurrent calls over distinct span ranges never overlap.
+func (x *FrontierIndex) fillSpanMinima(lo, hi int) {
+	for si := lo; si < hi; si++ {
+		sp := x.spans[si]
+		run := x.pairs[sp.start].lessMin
+		runIdx := x.pairs[sp.start].minIdx
+		x.spanLess[sp.start] = run
+		x.spanMinIdx[sp.start] = runIdx
+		for k := sp.start + 1; k < sp.end; k++ {
+			if lessTupleFast(x.pairs[k].lessMin, run) {
+				run = x.pairs[k].lessMin
+			}
+			if x.pairs[k].minIdx < runIdx {
+				runIdx = x.pairs[k].minIdx
+			}
+			x.spanLess[k] = run
+			x.spanMinIdx[k] = runIdx
+		}
+	}
 }
 
 // spanRange returns the half-open range of span indices whose exact
@@ -483,15 +591,90 @@ func (x *FrontierIndex) Candidates() []Candidate {
 // never opted their query surface in. ok is false when the catalog
 // does not compress under the pair cap.
 func (e *Engine) FrontierCandidates() ([]Candidate, bool) {
-	e.idxOnce.Do(func() {
-		e.idx = buildFrontierIndex(e)
-		e.idxReady.Store(e.idx != nil)
-		e.idxTried.Store(true)
-	})
-	if e.idx == nil {
+	idx := e.ensureIndex()
+	if idx == nil {
 		return nil, false
 	}
-	return e.idx.Candidates(), true
+	return idx.Candidates(), true
+}
+
+// Frontier returns the billing-independent frontier index object,
+// building it on first use regardless of the engine's query opt-in and
+// billing policy — the snapshot layer persists exactly this object. ok
+// is false when the catalog does not compress under the pair cap.
+func (e *Engine) Frontier() (*FrontierIndex, bool) {
+	x := e.ensureIndex()
+	return x, x != nil
+}
+
+// ensureIndex performs the lazy at-most-once build: the first caller
+// builds under idxMu, later callers read the published pointer. An
+// install (snapshot restore) that happened first counts as the build.
+func (e *Engine) ensureIndex() *FrontierIndex {
+	if e.idxTried.Load() {
+		return e.idx.Load()
+	}
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	if e.idxTried.Load() {
+		return e.idx.Load()
+	}
+	x := buildFrontierIndex(e)
+	if x != nil {
+		e.idx.Store(x)
+		e.idxReady.Store(true)
+	}
+	e.idxTried.Store(true)
+	return x
+}
+
+// InstallIndex atomically publishes a prebuilt index — typically one
+// decoded from an on-disk snapshot — as this engine's frontier index.
+// In-flight queries keep the pointer they already loaded; new queries
+// see the installed index immediately. The index must cover exactly
+// this engine's configuration space; callers are responsible for
+// matching the catalog itself (internal/snapshot pins it with a
+// fingerprint). Installing does not flip the query surface on — the
+// engine still honors SetUseIndex and the per-hour bypass.
+func (e *Engine) InstallIndex(x *FrontierIndex) error {
+	if x == nil {
+		return fmt.Errorf("core: install of nil index")
+	}
+	if x.total != e.space.Size() {
+		return fmt.Errorf("core: index covers %d configurations, space has %d", x.total, e.space.Size())
+	}
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	e.idx.Store(x)
+	e.idxReady.Store(true)
+	e.idxTried.Store(true)
+	return nil
+}
+
+// RebuildIndex rebuilds the frontier index from the engine's current
+// catalog and atomically swaps it in, leaving the previously published
+// index serving until the very last store — queries never observe a
+// half-built index. A panic inside the build is contained and returned
+// as an error with the old index (if any) still in place, so a
+// background rebuild can never take the serving path down. Returns the
+// new index's stats on success.
+func (e *Engine) RebuildIndex() (st IndexStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: index rebuild panic: %v", r)
+		}
+	}()
+	x := buildFrontierIndex(e)
+	if x == nil {
+		e.idxTried.Store(true)
+		return IndexStats{}, fmt.Errorf("core: catalog did not compress under the pair cap")
+	}
+	e.idxMu.Lock()
+	e.idx.Store(x)
+	e.idxReady.Store(true)
+	e.idxTried.Store(true)
+	e.idxMu.Unlock()
+	return x.Stats(), nil
 }
 
 // SetUseIndex opts the engine in (or out) of the frontier index. The
@@ -510,12 +693,7 @@ func (e *Engine) indexFor() *FrontierIndex {
 	if !e.useIndex || e.billing == model.PerHour {
 		return nil
 	}
-	e.idxOnce.Do(func() {
-		e.idx = buildFrontierIndex(e)
-		e.idxReady.Store(e.idx != nil)
-		e.idxTried.Store(true)
-	})
-	return e.idx
+	return e.ensureIndex()
 }
 
 // IndexActive reports whether queries are currently answered from the

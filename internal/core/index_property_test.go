@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"reflect"
@@ -90,6 +91,28 @@ func TestIndexEqualsScanRandomized(t *testing.T) {
 						trial, ci, obj, got, okG, want, okW)
 				}
 			}
+		}
+
+		// Codec round-trip: the snapshot payload must decode to an index
+		// bit-identical to the built one — pair table and every derived
+		// table — and the decoded index must re-encode to the same
+		// bytes, so a restored process is indistinguishable from one
+		// that paid the build.
+		built := eng.indexFor()
+		if built == nil {
+			t.Fatalf("trial %d: no index to encode", trial)
+		}
+		payload := built.EncodeBinary()
+		decoded, err := DecodeFrontierIndex(payload)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if !reflect.DeepEqual(decoded, built) {
+			t.Fatalf("trial %d: decoded index differs from built", trial)
+		}
+		if re := decoded.EncodeBinary(); !bytes.Equal(re, payload) {
+			t.Fatalf("trial %d: re-encoded payload differs (%d vs %d bytes)",
+				trial, len(re), len(payload))
 		}
 
 		// MaxAccuracy bisects over searchBest: index on and off must

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -470,5 +471,74 @@ func TestIndexBypassReason(t *testing.T) {
 	}
 	if got := overflow.IndexBypassReason(); !strings.Contains(got, "did not compress") {
 		t.Fatalf("overflow reason = %q", got)
+	}
+}
+
+// TestParallelDerivationMatchesSerial pins the two decode/derive code
+// paths to each other: the fused single-core walk and the multi-core
+// chunked parse + parallel span fill must produce identical indexes.
+// GOMAXPROCS is toggled explicitly so both paths run regardless of the
+// host's core count, over a synthetic pair table big enough
+// (> parallelCodecMin) to clear the parallel gate, with multi-pair
+// spans so the running minima actually accumulate.
+func TestParallelDerivationMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	const n = 40000
+	pairs := make([]idxPair, n)
+	var total uint64
+	u := units.Rate(1)
+	cu := units.USDPerHour(1)
+	for i := range pairs {
+		if rng.Intn(3) == 0 || i == 0 {
+			u += units.Rate(rng.Float64() + 0.001) // new capacity span
+			cu = units.USDPerHour(rng.Float64())
+		} else {
+			cu += units.USDPerHour(rng.Float64() + 0.001) // same span, costlier
+		}
+		counts := make([]int, 9)
+		for k := range counts {
+			counts[k] = rng.Intn(256)
+		}
+		pairs[i] = idxPair{
+			u:       u,
+			cu:      cu,
+			count:   uint64(1 + rng.Intn(7)),
+			minIdx:  uint64(i),
+			lessMin: config.MustTuple(counts...),
+		}
+		total += pairs[i].count
+	}
+	payload := (&FrontierIndex{pairs: pairs, total: total}).EncodeBinary()
+
+	decodeAt := func(procs int) *FrontierIndex {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		x, err := DecodeFrontierIndex(payload)
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		return x
+	}
+	serial := decodeAt(1)
+	parallel := decodeAt(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel decode/derivation diverges from the serial path")
+	}
+	if !bytes.Equal(serial.EncodeBinary(), payload) || !bytes.Equal(parallel.EncodeBinary(), payload) {
+		t.Fatal("round-trip is not byte-identical")
+	}
+
+	// Corruption must be rejected identically on both paths.
+	for _, flip := range []int{codecHeaderLen + 17, len(payload) / 2, len(payload) - 3} {
+		bad := append([]byte(nil), payload...)
+		bad[flip] ^= 0x40
+		prev := runtime.GOMAXPROCS(1)
+		_, errSerial := DecodeFrontierIndex(bad)
+		runtime.GOMAXPROCS(4)
+		_, errParallel := DecodeFrontierIndex(bad)
+		runtime.GOMAXPROCS(prev)
+		if (errSerial == nil) != (errParallel == nil) {
+			t.Fatalf("flip at %d: serial err %v, parallel err %v", flip, errSerial, errParallel)
+		}
 	}
 }

@@ -13,8 +13,8 @@ import (
 // analyzeCompute is the same work internal/api performs for
 // POST /v1/analyze: a full configuration-space census plus JSON
 // encoding of the frontier.
-func analyzeCompute(q Query) func(*core.Engine) ([]byte, error) {
-	return func(eng *core.Engine) ([]byte, error) {
+func analyzeCompute(q Query) func(context.Context, *core.Engine) ([]byte, error) {
+	return func(_ context.Context, eng *core.Engine) ([]byte, error) {
 		an, err := eng.Analyze(workload.Params{N: q.N, A: q.A}, core.Constraints{
 			Deadline: q.DeadlineHours.Seconds(),
 			Budget:   q.BudgetUSD,

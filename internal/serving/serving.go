@@ -29,16 +29,33 @@
 // instead of re-scanning the configuration space. The serving.index.*
 // counters and gauges report how many leader computes were index-served
 // versus scan-backed and the shape of the built indexes.
+//
+// The Frontdoor also owns the resilient index lifecycle (DESIGN.md
+// §11). LoadSnapshots restores each engine's frontier index from disk
+// at startup; an artifact that is missing, corrupt, or stale moves the
+// app into a declared "degraded" state — queries keep working from the
+// exhaustive scan — while a panic-isolated background rebuild restores
+// the index and re-saves the snapshot. SwapEngine replaces a mounted
+// engine under live traffic for zero-downtime catalog updates: reads
+// go through an atomically swapped copy-on-write map, the result cache
+// is purged (with a generation guard so in-flight leader computes
+// against the old engine cannot resurrect stale bytes), and the new
+// engine's index builds in the background. Per-app lifecycle state
+// (pending / building / built / degraded / bypassed) is exported to
+// /readyz and the serving.index.degraded gauge.
 package serving
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -88,6 +105,18 @@ type Config struct {
 	// byte-identical, and only the first analytic query per engine pays
 	// the one-time build. Per-hour engines ignore the opt-in either way.
 	DisableIndex bool
+	// SnapshotDir holds frontier-index snapshots: LoadSnapshots restores
+	// from it, and successful background rebuilds re-save into it.
+	// Empty → snapshots disabled.
+	SnapshotDir string
+	// ReadFile loads snapshot artifacts; nil → os.ReadFile. A test hook:
+	// the chaos suite substitutes slow and torn readers to prove the
+	// degradation paths.
+	ReadFile func(string) ([]byte, error)
+	// Rebuild rebuilds one engine's frontier index; nil →
+	// (*core.Engine).RebuildIndex. A test hook for injecting failing and
+	// panicking rebuilds.
+	Rebuild func(*core.Engine) (core.IndexStats, error)
 	// Metrics receives the serving counters; nil → a fresh registry
 	// (retrievable via Frontdoor.Metrics).
 	Metrics *telemetry.Registry
@@ -110,6 +139,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 60 * time.Second
+	}
+	if c.ReadFile == nil {
+		c.ReadFile = os.ReadFile
+	}
+	if c.Rebuild == nil {
+		c.Rebuild = (*core.Engine).RebuildIndex
 	}
 	if c.Metrics == nil {
 		c.Metrics = telemetry.NewRegistry()
@@ -169,13 +204,52 @@ func (s CacheStatus) String() string {
 	}
 }
 
-// Frontdoor serves queries against a fixed set of engines. Safe for
-// concurrent use; create with NewFrontdoor.
+// IndexState is the serving-side lifecycle state of one app's frontier
+// index, the value /readyz and the X-Index header report.
+type IndexState string
+
+const (
+	// IndexPending: the engine is opted in but no query has triggered
+	// the lazy build yet; the first analytic leader compute pays it.
+	IndexPending IndexState = "pending"
+	// IndexBuilding: a background rebuild is in flight; queries serve
+	// from whatever was published before (or the scan if nothing was).
+	IndexBuilding IndexState = "building"
+	// IndexBuilt: queries are answered from a published index.
+	IndexBuilt IndexState = "built"
+	// IndexDegraded: the index is unavailable (snapshot missing, corrupt,
+	// or stale; or a rebuild failed) and queries fall back to the
+	// exhaustive scan. Declared, not silent: the serving.index.degraded
+	// gauge counts these apps and responses carry X-Index: degraded.
+	IndexDegraded IndexState = "degraded"
+	// IndexBypassed: the index is deliberately not in use for this
+	// engine (opted out, or per-hour billing breaks demand invariance).
+	IndexBypassed IndexState = "bypassed"
+)
+
+// IndexStatus pairs a state with the reason it was entered (empty for
+// the healthy states).
+type IndexStatus struct {
+	State  IndexState `json:"state"`
+	Reason string     `json:"reason,omitempty"`
+}
+
+// Frontdoor serves queries against a set of engines. Safe for
+// concurrent use; create with NewFrontdoor. The engine set is read
+// through an atomic pointer so SwapEngine can replace members under
+// live traffic without blocking queries.
 type Frontdoor struct {
-	engines map[string]*core.Engine
+	engines atomic.Pointer[map[string]*core.Engine]
 	cfg     Config
 	cache   *resultCache // nil when disabled
 	group   flightGroup
+
+	// mu serializes lifecycle writes: engine swaps, status transitions.
+	// Reads of the engine map never take it.
+	mu     sync.Mutex
+	status map[string]IndexStatus
+	// bg tracks background rebuild/save goroutines; Wait joins them.
+	bg sync.WaitGroup
 
 	// Admission: queue admits MaxConcurrent+QueueDepth requests,
 	// slots caps actual engine concurrency at MaxConcurrent. Both are
@@ -184,9 +258,12 @@ type Frontdoor struct {
 	slots chan struct{}
 
 	requests, errors, rejected, coalesced, panics *telemetry.Counter
+	canceled                                      *telemetry.Counter
 	idxServed, idxBypass                          *telemetry.Counter
+	snapLoaded, snapRejected, snapSaved           *telemetry.Counter
 	inflight, queued                              *telemetry.Gauge
 	idxPairs, idxCandidates, idxBuildMS           *telemetry.Gauge
+	idxDegraded                                   *telemetry.Gauge
 	computeMS                                     *telemetry.Histogram
 }
 
@@ -215,15 +292,15 @@ func indexBacked(kind string, eng *core.Engine) bool {
 }
 
 // NewFrontdoor validates the configuration and wraps the given engines.
-// The engines map must not be mutated afterwards.
+// The engines map is copied; mutate it afterwards freely.
 func NewFrontdoor(engines map[string]*core.Engine, cfg Config) (*Frontdoor, error) {
 	if len(engines) == 0 {
 		return nil, fmt.Errorf("serving: no engines to serve")
 	}
 	cfg = cfg.withDefaults()
 	f := &Frontdoor{
-		engines:   engines,
 		cfg:       cfg,
+		status:    make(map[string]IndexStatus, len(engines)),
 		queue:     make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
 		slots:     make(chan struct{}, cfg.MaxConcurrent),
 		requests:  cfg.Metrics.Counter("serving.requests"),
@@ -231,27 +308,108 @@ func NewFrontdoor(engines map[string]*core.Engine, cfg Config) (*Frontdoor, erro
 		rejected:  cfg.Metrics.Counter("serving.overload.rejected"),
 		coalesced: cfg.Metrics.Counter("serving.coalesce.followers"),
 		panics:    cfg.Metrics.Counter("serving.panics"),
+		canceled:  cfg.Metrics.Counter("serving.canceled"),
 		inflight:  cfg.Metrics.Gauge("serving.inflight"),
 		queued:    cfg.Metrics.Gauge("serving.queued"),
 		computeMS: cfg.Metrics.Histogram("serving.compute_ms"),
 		idxServed: cfg.Metrics.Counter("serving.index.served"),
 		idxBypass: cfg.Metrics.Counter("serving.index.bypass"),
+		// Snapshot lifecycle counters: artifacts restored at startup,
+		// artifacts refused (corrupt/stale/unreadable), artifacts saved
+		// after a successful rebuild.
+		snapLoaded:   cfg.Metrics.Counter("serving.snapshot.loaded"),
+		snapRejected: cfg.Metrics.Counter("serving.snapshot.rejected"),
+		snapSaved:    cfg.Metrics.Counter("serving.snapshot.saved"),
 		// Gauges describe the built indexes, summed over engines:
 		// exact (u, c_u) pairs retained, staircase candidates, and
 		// cumulative build wall-clock. They stay 0 until a build runs.
 		idxPairs:      cfg.Metrics.Gauge("serving.index.pairs"),
 		idxCandidates: cfg.Metrics.Gauge("serving.index.candidates"),
 		idxBuildMS:    cfg.Metrics.Gauge("serving.index.build_ms"),
+		// idxDegraded counts apps currently serving from the scan in a
+		// declared degraded state.
+		idxDegraded: cfg.Metrics.Gauge("serving.index.degraded"),
 	}
+	own := make(map[string]*core.Engine, len(engines))
+	for name, e := range engines {
+		own[name] = e
+	}
+	f.engines.Store(&own)
 	if cfg.CacheBytes > 0 {
 		f.cache = newResultCache(cfg.CacheBytes, cfg.CacheTTL, cfg.Metrics)
 	}
-	if !cfg.DisableIndex {
-		for _, e := range engines {
+	for name, e := range own {
+		if !cfg.DisableIndex {
 			e.SetUseIndex(true)
 		}
+		f.status[name] = initialStatus(e)
 	}
 	return f, nil
+}
+
+// initialStatus derives an unqueried engine's lifecycle state: bypassed
+// when the index will never serve it, built when an index was already
+// installed (snapshot restore before mounting), pending otherwise.
+func initialStatus(e *core.Engine) IndexStatus {
+	if r := e.IndexBypassReason(); r != "" {
+		return IndexStatus{State: IndexBypassed, Reason: r}
+	}
+	if e.IndexBuilt() {
+		return IndexStatus{State: IndexBuilt}
+	}
+	return IndexStatus{State: IndexPending}
+}
+
+// Wait joins every background rebuild and snapshot-save goroutine the
+// Frontdoor has started; call it on shutdown (and in tests) so no work
+// outlives the process's intent to exit.
+func (f *Frontdoor) Wait() { f.bg.Wait() }
+
+// setStatus records an app's lifecycle transition and keeps the
+// degraded gauge consistent.
+func (f *Frontdoor) setStatus(app string, st IndexStatus) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.status[app] = st
+	var degraded int64
+	for _, s := range f.status {
+		if s.State == IndexDegraded {
+			degraded++
+		}
+	}
+	f.idxDegraded.Set(degraded)
+}
+
+// IndexStatuses reports the per-app index lifecycle, keyed by app name
+// — the /readyz body's "index" section.
+func (f *Frontdoor) IndexStatuses() map[string]IndexStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]IndexStatus, len(f.status))
+	for app, st := range f.status {
+		out[app] = st
+	}
+	return out
+}
+
+// IndexStatusFor reports one app's index lifecycle state.
+func (f *Frontdoor) IndexStatusFor(app string) (IndexStatus, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.status[app]
+	return st, ok
+}
+
+// Degraded reports whether any app is serving in degraded mode.
+func (f *Frontdoor) Degraded() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, s := range f.status {
+		if s.State == IndexDegraded {
+			return true
+		}
+	}
+	return false
 }
 
 // Metrics returns the registry collecting this Frontdoor's counters.
@@ -259,8 +417,9 @@ func (f *Frontdoor) Metrics() *telemetry.Registry { return f.cfg.Metrics }
 
 // Apps lists the mounted application names, sorted.
 func (f *Frontdoor) Apps() []string {
-	names := make([]string, 0, len(f.engines))
-	for n := range f.engines {
+	engines := *f.engines.Load()
+	names := make([]string, 0, len(engines))
+	for n := range engines {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -269,7 +428,7 @@ func (f *Frontdoor) Apps() []string {
 
 // Engine returns the engine mounted for app.
 func (f *Frontdoor) Engine(app string) (*core.Engine, bool) {
-	e, ok := f.engines[app]
+	e, ok := (*f.engines.Load())[app]
 	return e, ok
 }
 
@@ -303,13 +462,15 @@ func (f *Frontdoor) key(q Query, eng *core.Engine) string {
 }
 
 // Do serves one query: cache lookup, then coalescing, then admission,
-// then compute. compute receives the mounted engine and returns the
-// encoded response body, which Do caches on success. The returned
-// bytes are shared with the cache and other waiters — callers must not
-// mutate them.
-func (f *Frontdoor) Do(ctx context.Context, q Query, compute func(*core.Engine) ([]byte, error)) ([]byte, CacheStatus, error) {
+// then compute. compute receives the request context (carrying the
+// per-request deadline, which ctx-aware engine queries propagate into
+// the scan loops) and the mounted engine, and returns the encoded
+// response body, which Do caches on success. The returned bytes are
+// shared with the cache and other waiters — callers must not mutate
+// them.
+func (f *Frontdoor) Do(ctx context.Context, q Query, compute func(context.Context, *core.Engine) ([]byte, error)) ([]byte, CacheStatus, error) {
 	f.requests.Inc()
-	eng, ok := f.engines[q.App]
+	eng, ok := (*f.engines.Load())[q.App]
 	if !ok {
 		f.errors.Inc()
 		return nil, StatusMiss, fmt.Errorf("%w: %q", ErrUnknownApp, q.App)
@@ -320,10 +481,15 @@ func (f *Frontdoor) Do(ctx context.Context, q Query, compute func(*core.Engine) 
 		defer cancel()
 	}
 	key := f.key(q, eng)
+	var gen uint64
 	if f.cache != nil {
 		if val, ok := f.cache.get(key); ok {
 			return val, StatusHit, nil
 		}
+		// The generation is read before the compute: if SwapEngine purges
+		// the cache mid-compute, this leader's result priced against the
+		// old engine is dropped instead of cached.
+		gen = f.cache.generation()
 	}
 
 	c, leader := f.group.join(key)
@@ -348,18 +514,31 @@ func (f *Frontdoor) Do(ctx context.Context, q Query, compute func(*core.Engine) 
 		if indexBacked(q.Kind, eng) {
 			f.idxServed.Inc()
 			f.refreshIndexGauges()
+			f.noteIndexServed(q.App, eng)
 		} else {
 			f.idxBypass.Inc()
 		}
 	}
 	if err == nil && f.cache != nil {
-		f.cache.put(key, val)
+		f.cache.put(key, val, gen)
 	}
 	f.group.finish(key, c, val, err)
 	if err != nil {
 		f.errors.Inc()
 	}
 	return val, StatusMiss, err
+}
+
+// noteIndexServed promotes a pending app to built the first time a
+// leader compute actually ran against its index (the lazy build path),
+// without disturbing building/degraded states owned by the background
+// lifecycle.
+func (f *Frontdoor) noteIndexServed(app string, eng *core.Engine) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if cur, ok := f.status[app]; ok && cur.State == IndexPending && (*f.engines.Load())[app] == eng {
+		f.status[app] = IndexStatus{State: IndexBuilt}
+	}
 }
 
 // refreshIndexGauges re-derives the index-shape gauges as sums over
@@ -369,7 +548,7 @@ func (f *Frontdoor) Do(ctx context.Context, q Query, compute func(*core.Engine) 
 // times.
 func (f *Frontdoor) refreshIndexGauges() {
 	var pairs, cands, buildMS int64
-	for _, e := range f.engines {
+	for _, e := range *f.engines.Load() {
 		if !e.IndexBuilt() {
 			continue
 		}
@@ -386,9 +565,12 @@ func (f *Frontdoor) refreshIndexGauges() {
 }
 
 // admitAndCompute is the leader path: take a queue token (fail fast
-// with ErrOverloaded when the queue is full), wait for a worker slot
-// (fail with ErrOverloaded when the deadline passes first), then run.
-func (f *Frontdoor) admitAndCompute(ctx context.Context, eng *core.Engine, compute func(*core.Engine) ([]byte, error)) ([]byte, error) {
+// with ErrOverloaded when the queue is full), wait for a worker slot,
+// then run. A queued request whose deadline passes fails with
+// ErrOverloaded (the server's admission budget ran out); one whose
+// client walked away (context canceled) fails with the canceled error
+// promptly instead of computing for a dead connection.
+func (f *Frontdoor) admitAndCompute(ctx context.Context, eng *core.Engine, compute func(context.Context, *core.Engine) ([]byte, error)) ([]byte, error) {
 	select {
 	case f.queue <- struct{}{}:
 	default:
@@ -403,6 +585,10 @@ func (f *Frontdoor) admitAndCompute(ctx context.Context, eng *core.Engine, compu
 		f.queued.Add(-1)
 	case <-ctx.Done():
 		f.queued.Add(-1)
+		if errors.Is(ctx.Err(), context.Canceled) {
+			f.canceled.Inc()
+			return nil, fmt.Errorf("serving: request canceled while queued: %w", ctx.Err())
+		}
 		f.rejected.Inc()
 		return nil, fmt.Errorf("%w (queued past deadline: %v)", ErrOverloaded, ctx.Err())
 	}
@@ -413,14 +599,22 @@ func (f *Frontdoor) admitAndCompute(ctx context.Context, eng *core.Engine, compu
 		f.inflight.Add(-1)
 		<-f.slots
 	}()
-	return f.guarded(eng, compute)
+	// The slot may have freed only after the client gave up; don't burn
+	// a multi-second engine run on a dead request.
+	if err := ctx.Err(); err != nil {
+		if errors.Is(err, context.Canceled) {
+			f.canceled.Inc()
+		}
+		return nil, fmt.Errorf("serving: request expired before compute: %w", err)
+	}
+	return f.guarded(ctx, eng, compute)
 }
 
 // guarded runs the compute callback with panic containment: a panicking
 // request releases its admission tokens normally (the deferred
 // bookkeeping above runs after recovery) and fails with ErrInternal
 // instead of crashing the server.
-func (f *Frontdoor) guarded(eng *core.Engine, compute func(*core.Engine) ([]byte, error)) (val []byte, err error) {
+func (f *Frontdoor) guarded(ctx context.Context, eng *core.Engine, compute func(context.Context, *core.Engine) ([]byte, error)) (val []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			f.panics.Inc()
@@ -428,5 +622,5 @@ func (f *Frontdoor) guarded(eng *core.Engine, compute func(*core.Engine) ([]byte
 			err = fmt.Errorf("%w: compute panic: %v", ErrInternal, r)
 		}
 	}()
-	return compute(eng)
+	return compute(ctx, eng)
 }

@@ -36,7 +36,7 @@ func TestNewFrontdoorRequiresEngines(t *testing.T) {
 func TestUnknownApp(t *testing.T) {
 	f := newTestFrontdoor(t, Config{})
 	_, _, err := f.Do(context.Background(), Query{Kind: "mincost", App: "blender"},
-		func(*core.Engine) ([]byte, error) { return nil, nil })
+		func(context.Context, *core.Engine) ([]byte, error) { return nil, nil })
 	if !errors.Is(err, ErrUnknownApp) {
 		t.Fatalf("err = %v, want ErrUnknownApp", err)
 	}
@@ -46,7 +46,7 @@ func TestCacheHitReturnsIdenticalBytes(t *testing.T) {
 	f := newTestFrontdoor(t, Config{})
 	q := Query{Kind: "mincost", App: "galaxy", N: 65536, A: 8000, DeadlineHours: 24}
 	var runs atomic.Int64
-	compute := func(*core.Engine) ([]byte, error) {
+	compute := func(context.Context, *core.Engine) ([]byte, error) {
 		runs.Add(1)
 		return []byte(`{"best":"config"}`), nil
 	}
@@ -73,8 +73,8 @@ func TestCacheHitReturnsIdenticalBytes(t *testing.T) {
 
 func TestDistinctQueriesDistinctEntries(t *testing.T) {
 	f := newTestFrontdoor(t, Config{})
-	compute := func(body string) func(*core.Engine) ([]byte, error) {
-		return func(*core.Engine) ([]byte, error) { return []byte(body), nil }
+	compute := func(body string) func(context.Context, *core.Engine) ([]byte, error) {
+		return func(context.Context, *core.Engine) ([]byte, error) { return []byte(body), nil }
 	}
 	a, _, _ := f.Do(context.Background(), Query{Kind: "mincost", App: "galaxy", DeadlineHours: 24}, compute("a"))
 	b, _, _ := f.Do(context.Background(), Query{Kind: "mincost", App: "galaxy", DeadlineHours: 48}, compute("b"))
@@ -90,7 +90,7 @@ func TestCoalescingSingleEngineRun(t *testing.T) {
 	var runs atomic.Int64
 	release := make(chan struct{})
 	started := make(chan struct{})
-	compute := func(*core.Engine) ([]byte, error) {
+	compute := func(context.Context, *core.Engine) ([]byte, error) {
 		runs.Add(1)
 		close(started)
 		<-release // hold all followers in-flight
@@ -153,7 +153,7 @@ func TestCoalescedErrorPropagates(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, _, leaderErr = f.Do(context.Background(), q, func(*core.Engine) ([]byte, error) {
+		_, _, leaderErr = f.Do(context.Background(), q, func(context.Context, *core.Engine) ([]byte, error) {
 			close(started)
 			<-release
 			return nil, boom
@@ -163,7 +163,7 @@ func TestCoalescedErrorPropagates(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, _, followerErr = f.Do(context.Background(), q, func(*core.Engine) ([]byte, error) {
+		_, _, followerErr = f.Do(context.Background(), q, func(context.Context, *core.Engine) ([]byte, error) {
 			t.Error("follower ran compute")
 			return nil, nil
 		})
@@ -177,7 +177,7 @@ func TestCoalescedErrorPropagates(t *testing.T) {
 		t.Fatalf("leader err %v, follower err %v, want %v", leaderErr, followerErr, boom)
 	}
 	// Errors are not cached: the next call runs compute again.
-	_, st, err := f.Do(context.Background(), q, func(*core.Engine) ([]byte, error) {
+	_, st, err := f.Do(context.Background(), q, func(context.Context, *core.Engine) ([]byte, error) {
 		return []byte("ok"), nil
 	})
 	if err != nil || st != StatusMiss {
@@ -193,7 +193,7 @@ func TestOverloadRejects(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, _, err := f.Do(context.Background(), Query{Kind: "analyze", App: "galaxy", N: 1}, func(*core.Engine) ([]byte, error) {
+		_, _, err := f.Do(context.Background(), Query{Kind: "analyze", App: "galaxy", N: 1}, func(context.Context, *core.Engine) ([]byte, error) {
 			close(started)
 			<-release
 			return []byte("slow"), nil
@@ -205,7 +205,7 @@ func TestOverloadRejects(t *testing.T) {
 	<-started
 
 	// Different query (no coalescing), pool and queue are full.
-	_, _, err := f.Do(context.Background(), Query{Kind: "analyze", App: "galaxy", N: 2}, func(*core.Engine) ([]byte, error) {
+	_, _, err := f.Do(context.Background(), Query{Kind: "analyze", App: "galaxy", N: 2}, func(context.Context, *core.Engine) ([]byte, error) {
 		t.Error("rejected request ran compute")
 		return nil, nil
 	})
@@ -227,7 +227,7 @@ func TestQueuedRequestTimesOut(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, _, _ = f.Do(context.Background(), Query{Kind: "analyze", App: "galaxy", N: 1}, func(*core.Engine) ([]byte, error) {
+		_, _, _ = f.Do(context.Background(), Query{Kind: "analyze", App: "galaxy", N: 1}, func(context.Context, *core.Engine) ([]byte, error) {
 			close(started)
 			<-release
 			return []byte("slow"), nil
@@ -235,7 +235,7 @@ func TestQueuedRequestTimesOut(t *testing.T) {
 	}()
 	<-started
 	// Fits in the queue but never gets a slot before the deadline.
-	_, _, err := f.Do(context.Background(), Query{Kind: "analyze", App: "galaxy", N: 2}, func(*core.Engine) ([]byte, error) {
+	_, _, err := f.Do(context.Background(), Query{Kind: "analyze", App: "galaxy", N: 2}, func(context.Context, *core.Engine) ([]byte, error) {
 		return nil, nil
 	})
 	if !errors.Is(err, ErrOverloaded) {
@@ -253,7 +253,7 @@ func TestCacheTTLExpiry(t *testing.T) {
 
 	q := Query{Kind: "mincost", App: "galaxy", DeadlineHours: 24}
 	var runs atomic.Int64
-	compute := func(*core.Engine) ([]byte, error) {
+	compute := func(context.Context, *core.Engine) ([]byte, error) {
 		runs.Add(1)
 		return []byte("v"), nil
 	}
@@ -279,7 +279,7 @@ func TestCacheByteBoundEviction(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	f := newTestFrontdoor(t, Config{CacheBytes: 2400, Metrics: reg})
 	body := bytes.Repeat([]byte("x"), 1024)
-	compute := func(*core.Engine) ([]byte, error) { return body, nil }
+	compute := func(context.Context, *core.Engine) ([]byte, error) { return body, nil }
 	for i := 0; i < 3; i++ {
 		q := Query{Kind: "analyze", App: "galaxy", N: float64(i)}
 		if _, _, err := f.Do(context.Background(), q, compute); err != nil {
@@ -308,7 +308,7 @@ func TestOversizedValueNotCached(t *testing.T) {
 	f := newTestFrontdoor(t, Config{CacheBytes: 512})
 	q := Query{Kind: "analyze", App: "galaxy"}
 	big := bytes.Repeat([]byte("y"), 4096)
-	compute := func(*core.Engine) ([]byte, error) { return big, nil }
+	compute := func(context.Context, *core.Engine) ([]byte, error) { return big, nil }
 	_, _, _ = f.Do(context.Background(), q, compute)
 	if _, st, _ := f.Do(context.Background(), q, compute); st != StatusHit {
 		if f.cache.len() != 0 {
@@ -323,7 +323,7 @@ func TestCachingDisabled(t *testing.T) {
 	f := newTestFrontdoor(t, Config{CacheBytes: -1})
 	q := Query{Kind: "mincost", App: "galaxy", DeadlineHours: 24}
 	var runs atomic.Int64
-	compute := func(*core.Engine) ([]byte, error) {
+	compute := func(context.Context, *core.Engine) ([]byte, error) {
 		runs.Add(1)
 		return []byte("v"), nil
 	}
@@ -339,7 +339,7 @@ func TestCachingDisabled(t *testing.T) {
 func TestRealEngineThroughFrontdoor(t *testing.T) {
 	f := newTestFrontdoor(t, Config{})
 	q := Query{Kind: "mincost", App: "galaxy", N: 65536, A: 8000, DeadlineHours: 24}
-	compute := func(eng *core.Engine) ([]byte, error) {
+	compute := func(_ context.Context, eng *core.Engine) ([]byte, error) {
 		pred, feasible, err := eng.MinCostForDeadline(
 			workload.Params{N: q.N, A: q.A}, q.DeadlineHours.Seconds())
 		if err != nil {
@@ -408,7 +408,7 @@ func TestFrontdoorIndexOptIn(t *testing.T) {
 	}
 	// A stubbed analytic leader compute on the scan-backed engine is a
 	// bypass; the non-analytic "risk" kind is counted as neither.
-	stub := func(*core.Engine) ([]byte, error) { return []byte("v"), nil }
+	stub := func(context.Context, *core.Engine) ([]byte, error) { return []byte("v"), nil }
 	if _, _, err := off.Do(context.Background(), Query{Kind: "mincost", App: "galaxy", DeadlineHours: 24}, stub); err != nil {
 		t.Fatal(err)
 	}
@@ -449,14 +449,14 @@ func TestExtraPartitionsCacheKeys(t *testing.T) {
 
 	for i, q := range []Query{base, other} {
 		want := []byte(fmt.Sprintf("sched-%d", i))
-		val, status, err := f.Do(context.Background(), q, func(*core.Engine) ([]byte, error) {
+		val, status, err := f.Do(context.Background(), q, func(context.Context, *core.Engine) ([]byte, error) {
 			return want, nil
 		})
 		if err != nil || status != StatusMiss || !bytes.Equal(val, want) {
 			t.Fatalf("variant %d: val %q status %v err %v (Extra collided in the key)", i, val, status, err)
 		}
 	}
-	val, status, err := f.Do(context.Background(), base, func(*core.Engine) ([]byte, error) {
+	val, status, err := f.Do(context.Background(), base, func(context.Context, *core.Engine) ([]byte, error) {
 		t.Fatal("cache miss on repeated schedule query")
 		return nil, nil
 	})
@@ -478,7 +478,7 @@ func TestParallelMixedLoad(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				q := Query{Kind: "analyze", App: "galaxy", N: float64(i % 5)}
-				body, _, err := f.Do(context.Background(), q, func(*core.Engine) ([]byte, error) {
+				body, _, err := f.Do(context.Background(), q, func(context.Context, *core.Engine) ([]byte, error) {
 					engineRuns.Add(1)
 					return []byte(fmt.Sprintf("n=%v", q.N)), nil
 				})
@@ -505,7 +505,7 @@ func TestComputePanicRecovered(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	f := newTestFrontdoor(t, Config{Metrics: reg})
 	q := Query{Kind: "mincost", App: "galaxy", N: 1, A: 1}
-	_, _, err := f.Do(context.Background(), q, func(*core.Engine) ([]byte, error) {
+	_, _, err := f.Do(context.Background(), q, func(context.Context, *core.Engine) ([]byte, error) {
 		panic("boom")
 	})
 	if !errors.Is(err, ErrInternal) {
@@ -516,7 +516,7 @@ func TestComputePanicRecovered(t *testing.T) {
 	}
 	// The panicking request must have released its admission tokens and
 	// not poisoned the cache: the same query computes again and succeeds.
-	val, status, err := f.Do(context.Background(), q, func(*core.Engine) ([]byte, error) {
+	val, status, err := f.Do(context.Background(), q, func(context.Context, *core.Engine) ([]byte, error) {
 		return []byte("ok"), nil
 	})
 	if err != nil || string(val) != "ok" || status != StatusMiss {
@@ -544,7 +544,7 @@ func TestRiskFieldsPartitionCacheKeys(t *testing.T) {
 
 	for i, q := range variants {
 		want := []byte(fmt.Sprintf("resp-%d", i))
-		val, status, err := f.Do(context.Background(), q, func(*core.Engine) ([]byte, error) {
+		val, status, err := f.Do(context.Background(), q, func(context.Context, *core.Engine) ([]byte, error) {
 			return want, nil
 		})
 		if err != nil || status != StatusMiss {
@@ -555,7 +555,7 @@ func TestRiskFieldsPartitionCacheKeys(t *testing.T) {
 		}
 	}
 	// And the base query is now a pure cache hit.
-	val, status, err := f.Do(context.Background(), base, func(*core.Engine) ([]byte, error) {
+	val, status, err := f.Do(context.Background(), base, func(context.Context, *core.Engine) ([]byte, error) {
 		t.Fatal("cache miss on repeated risk query")
 		return nil, nil
 	})
