@@ -15,9 +15,13 @@
 // finding prints as "file:line:col: [rule] message", or — with -json —
 // as one JSON object per line ({"file","line","col","rule","message"}),
 // the format .github/problem-matcher.json teaches GitHub Actions to
-// turn into PR annotations. Findings are suppressed by
-// "//lint:allow <rule> <reason>" on the same or the preceding line; the
-// reason is mandatory.
+// turn into PR annotations. -rule a,b runs a subset of the suite (for
+// bisecting one rule); -timing prints each rule's cumulative wall time
+// to stderr; the (package × rule) passes run concurrently either way.
+// Findings are suppressed by "//lint:allow <rule> <reason>" on the
+// same or the preceding line; the reason is mandatory, and a waiver
+// whose rule ran but suppressed nothing is itself a finding (stale
+// waivers rot into false documentation).
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/analysis"
 )
@@ -41,8 +46,10 @@ type jsonFinding struct {
 func main() {
 	list := flag.Bool("list", false, "print the rule set and exit")
 	asJSON := flag.Bool("json", false, "emit findings as JSON lines instead of text")
+	timing := flag.Bool("timing", false, "print per-rule cumulative wall time to stderr")
+	ruleSel := flag.String("rule", "", "comma-separated rule names to run (default: all); bisect one rule with -rule <name>")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: celia-lint [-list] [-json] [./... | dir ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: celia-lint [-list] [-json] [-timing] [-rule a,b] [./... | dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -53,6 +60,30 @@ func main() {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *ruleSel != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var selected []*analysis.Analyzer
+		for _, name := range strings.Split(*ruleSel, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "celia-lint: unknown rule %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+		if len(selected) == 0 {
+			fmt.Fprintln(os.Stderr, "celia-lint: -rule selected no rules")
+			os.Exit(2)
+		}
+		suite = selected
 	}
 
 	loader, err := analysis.NewLoader(".")
@@ -85,7 +116,12 @@ func main() {
 		}
 	}
 
-	findings := analysis.Run(suite, targets)
+	findings, timings := analysis.RunTimed(suite, targets)
+	if *timing {
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "celia-lint: %-14s %8.1fms\n", t.Rule, float64(t.Elapsed.Microseconds())/1000)
+		}
+	}
 	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
 		if *asJSON {

@@ -30,8 +30,12 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // A Finding is one rule violation at one source position.
@@ -75,39 +79,105 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // Suite returns the full rule set in stable order.
 func Suite() []*Analyzer {
-	return []*Analyzer{Nodeterm, Floateq, Metricname, Httpenvelope, Nakedgo, Unitsafe}
+	return []*Analyzer{Nodeterm, Floateq, Metricname, Httpenvelope, Nakedgo, Unitsafe, Ctxflow, Atomicpub, Lockdiscipline}
 }
 
 // Run applies the analyzers to every package and returns the findings
 // that survive //lint:allow suppression, sorted by position then rule.
 func Run(analyzers []*Analyzer, pkgs []*CheckedPackage) []Finding {
+	findings, _ := RunTimed(analyzers, pkgs)
+	return findings
+}
+
+// RuleTiming is one rule's cumulative wall time across every package
+// of a run (summed over concurrent passes, so the total can exceed the
+// run's wall clock).
+type RuleTiming struct {
+	Rule    string
+	Elapsed time.Duration
+}
+
+// RunTimed is Run plus per-rule timings. The (package × analyzer)
+// passes are independent — every pass gets a private findings slice
+// and analyzers keep their state on the Pass — so they run concurrently
+// across GOMAXPROCS workers; suppression filtering and ordering stay
+// deterministic because merging is a serial pass over the grid in
+// suite order.
+//
+// Suppression accounting doubles as stale-waiver detection: a
+// well-formed //lint:allow whose rule ran in this invocation but
+// suppressed nothing is itself a lintallow finding — dead waivers rot
+// into false documentation. Waivers for suite rules that were NOT
+// selected this run (celia-lint -rule) are left alone: the rule not
+// running is no evidence the waiver is dead.
+func RunTimed(analyzers []*Analyzer, pkgs []*CheckedPackage) ([]Finding, []RuleTiming) {
+	// "Known" rules for allow validation are the full suite, not just
+	// the selected analyzers: -rule must not turn valid waivers into
+	// unknown-rule findings.
 	known := map[string]bool{}
-	for _, a := range analyzers {
+	for _, a := range Suite() {
 		known[a.Name] = true
 	}
-	var all []Finding
-	for _, cp := range pkgs {
-		allows, allowFindings := collectAllows(cp, known)
-		all = append(all, allowFindings...)
-		var raw []Finding
-		for _, a := range analyzers {
-			pass := &Pass{
-				Fset:  cp.Fset,
-				Path:  cp.Path,
-				Files: cp.Files,
-				Pkg:   cp.Pkg,
-				Info:  cp.Info,
+	active := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+		active[a.Name] = true
+	}
 
-				rule:     a.Name,
-				findings: &raw,
-			}
-			a.Run(pass)
+	grid := make([][][]Finding, len(pkgs))
+	for pi := range grid {
+		grid[pi] = make([][]Finding, len(analyzers))
+	}
+	elapsed := make([]int64, len(analyzers))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for pi, cp := range pkgs {
+		for ai, a := range analyzers {
+			wg.Add(1)
+			go func(pi, ai int, cp *CheckedPackage, a *Analyzer) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				start := time.Now()
+				var raw []Finding
+				a.Run(&Pass{
+					Fset:  cp.Fset,
+					Path:  cp.Path,
+					Files: cp.Files,
+					Pkg:   cp.Pkg,
+					Info:  cp.Info,
+
+					rule:     a.Name,
+					findings: &raw,
+				})
+				atomic.AddInt64(&elapsed[ai], int64(time.Since(start)))
+				grid[pi][ai] = raw
+			}(pi, ai, cp, a)
 		}
-		for _, f := range raw {
-			if allows[allowKey{file: f.Pos.Filename, line: f.Pos.Line, rule: f.Rule}] {
-				continue
+	}
+	wg.Wait()
+
+	var all []Finding
+	for pi, cp := range pkgs {
+		allows, directives, allowFindings := collectAllows(cp, known)
+		all = append(all, allowFindings...)
+		for ai := range analyzers {
+			for _, f := range grid[pi][ai] {
+				if d := allows[allowKey{file: f.Pos.Filename, line: f.Pos.Line, rule: f.Rule}]; d != nil {
+					d.used = true
+					continue
+				}
+				all = append(all, f)
 			}
-			all = append(all, f)
+		}
+		for _, d := range directives {
+			if !d.used && active[d.rule] {
+				all = append(all, Finding{
+					Pos:  cp.Fset.Position(d.pos),
+					Rule: "lintallow",
+					Msg:  fmt.Sprintf("lint:allow %s suppresses nothing here (stale waiver): fix the line it used to excuse, or delete it", d.rule),
+				})
+			}
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {
@@ -123,7 +193,11 @@ func Run(analyzers []*Analyzer, pkgs []*CheckedPackage) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
-	return all
+	timings := make([]RuleTiming, len(analyzers))
+	for ai, a := range analyzers {
+		timings[ai] = RuleTiming{Rule: a.Name, Elapsed: time.Duration(elapsed[ai])}
+	}
+	return all, timings
 }
 
 // allowKey identifies one suppressed (file, line, rule) triple.
@@ -133,12 +207,24 @@ type allowKey struct {
 	rule string
 }
 
+// allowDirective is one well-formed //lint:allow comment; used records
+// whether it suppressed at least one finding this run (stale-waiver
+// detection).
+type allowDirective struct {
+	pos  token.Pos
+	rule string
+	used bool
+}
+
 // collectAllows scans a package's comments for //lint:allow directives.
 // Each well-formed directive suppresses its rule on the comment's line
 // and the line below (so it can trail the offending expression or sit
-// on its own line above it). Malformed directives are findings.
-func collectAllows(cp *CheckedPackage, known map[string]bool) (map[allowKey]bool, []Finding) {
-	allows := map[allowKey]bool{}
+// on its own line above it); both keys share one directive so
+// consumption is tracked per comment. Malformed directives are
+// findings.
+func collectAllows(cp *CheckedPackage, known map[string]bool) (map[allowKey]*allowDirective, []*allowDirective, []Finding) {
+	allows := map[allowKey]*allowDirective{}
+	var directives []*allowDirective
 	var findings []Finding
 	report := func(pos token.Pos, msg string) {
 		findings = append(findings, Finding{Pos: cp.Fset.Position(pos), Rule: "lintallow", Msg: msg})
@@ -166,12 +252,14 @@ func collectAllows(cp *CheckedPackage, known map[string]bool) (map[allowKey]bool
 					continue
 				}
 				pos := cp.Fset.Position(c.Pos())
-				allows[allowKey{file: pos.Filename, line: pos.Line, rule: rule}] = true
-				allows[allowKey{file: pos.Filename, line: pos.Line + 1, rule: rule}] = true
+				d := &allowDirective{pos: c.Pos(), rule: rule}
+				directives = append(directives, d)
+				allows[allowKey{file: pos.Filename, line: pos.Line, rule: rule}] = d
+				allows[allowKey{file: pos.Filename, line: pos.Line + 1, rule: rule}] = d
 			}
 		}
 	}
-	return allows, findings
+	return allows, directives, findings
 }
 
 // pathWithin reports whether an import path falls inside the package

@@ -41,6 +41,9 @@ func TestAnalyzersFireOnBadFixtures(t *testing.T) {
 		{"httpenvelope", "httpenvelope_bad", 2},
 		{"nakedgo", "nakedgo_bad", 1},
 		{"unitsafe", "unitsafe_bad", 7},
+		{"ctxflow", "ctxflow_bad", 6},
+		{"atomicpub", "atomicpub_bad", 5},
+		{"lockdiscipline", "lockdiscipline_bad", 6},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {
@@ -69,6 +72,9 @@ func TestAnalyzersQuietOnGoodFixtures(t *testing.T) {
 		"httpenvelope_good",
 		"nakedgo_good",
 		"unitsafe_good",
+		"ctxflow_good",
+		"atomicpub_good",
+		"lockdiscipline_good",
 	}
 	for _, dir := range dirs {
 		t.Run(dir, func(t *testing.T) {
@@ -80,10 +86,11 @@ func TestAnalyzersQuietOnGoodFixtures(t *testing.T) {
 	}
 }
 
-// TestMalformedAllowsAreFindings asserts that a reason-less //lint:allow
-// and one naming an unknown rule are themselves reported, and that a
-// malformed directive suppresses nothing: the floateq findings it tried
-// to hide must surface alongside the lintallow findings.
+// TestMalformedAllowsAreFindings asserts that a reason-less //lint:allow,
+// one naming an unknown rule, and a well-formed one that suppresses
+// nothing (stale) are themselves reported, and that a malformed
+// directive suppresses nothing: the floateq findings it tried to hide
+// must surface alongside the lintallow findings.
 func TestMalformedAllowsAreFindings(t *testing.T) {
 	l := newTestLoader(t)
 	cp := loadFixture(t, l, "lintallow_bad")
@@ -92,13 +99,13 @@ func TestMalformedAllowsAreFindings(t *testing.T) {
 	for _, f := range findings {
 		byRule[f.Rule]++
 	}
-	if byRule["lintallow"] != 2 {
-		t.Errorf("want 2 lintallow findings (missing reason, unknown rule), got %d: %v", byRule["lintallow"], findings)
+	if byRule["lintallow"] != 3 {
+		t.Errorf("want 3 lintallow findings (missing reason, unknown rule, stale waiver), got %d: %v", byRule["lintallow"], findings)
 	}
 	if byRule["floateq"] != 2 {
 		t.Errorf("malformed allows must not suppress: want 2 floateq findings, got %d: %v", byRule["floateq"], findings)
 	}
-	var sawReason, sawUnknown bool
+	var sawReason, sawUnknown, sawStale bool
 	for _, f := range findings {
 		if f.Rule != "lintallow" {
 			continue
@@ -109,9 +116,26 @@ func TestMalformedAllowsAreFindings(t *testing.T) {
 		if strings.Contains(f.Msg, "unknown rule") {
 			sawUnknown = true
 		}
+		if strings.Contains(f.Msg, "stale waiver") {
+			sawStale = true
+		}
 	}
-	if !sawReason || !sawUnknown {
-		t.Errorf("want one missing-reason and one unknown-rule message, got %v", findings)
+	if !sawReason || !sawUnknown || !sawStale {
+		t.Errorf("want missing-reason, unknown-rule, and stale-waiver messages, got %v", findings)
+	}
+}
+
+// TestStaleWaiverSkippedForInactiveRules asserts -rule style subset
+// runs do not flag waivers for rules that did not run: a floateq
+// waiver is only judged when floateq itself is active.
+func TestStaleWaiverSkippedForInactiveRules(t *testing.T) {
+	l := newTestLoader(t)
+	cp := loadFixture(t, l, "lintallow_bad")
+	findings := Run([]*Analyzer{Nakedgo}, []*CheckedPackage{cp})
+	for _, f := range findings {
+		if strings.Contains(f.Msg, "stale waiver") {
+			t.Errorf("stale-waiver finding for an inactive rule: %v", f)
+		}
 	}
 }
 

@@ -1,0 +1,558 @@
+// Control-flow graphs for the flow-sensitive rules (ctxflow,
+// atomicpub, lockdiscipline). The six original analyzers are purely
+// syntactic/type-level; the concurrency invariants PR 7 made
+// load-bearing — every scan loop polls its context, published engine
+// maps are frozen, every Lock reaches an Unlock — are properties of
+// *paths*, not of single expressions, so they need a CFG and a
+// dataflow solver (flow.go).
+//
+// The graph is intra-procedural and statement-granular: every function
+// declaration and function literal gets its own graph; compound
+// statements are split so a basic block holds only simple statements
+// (assignments, calls, sends, defers, ...) plus the control expression
+// that ends it. Edges cover if/else, for (with and without condition),
+// range, switch/type-switch (incl. fallthrough), select, labeled
+// break/continue/goto, and return. Two distinguished exits:
+//
+//   - Exit — normal returns and falling off the end;
+//   - Panic — explicit panic(...) calls. Implicit panics (a callee
+//     blowing up mid-block) are NOT materialized as edges — the graph
+//     would drown in them; rules that care (lockdiscipline's
+//     held-at-panic check) instead inspect may-panic statements during
+//     their transfer function, which sees the same in-state the
+//     implicit edge would.
+//
+// Function literals are not inlined: a FuncLit appearing inside a
+// statement is an opaque value here and a separate graph when a rule
+// asks for it. Defer statements stay in their block in source order;
+// the builder does not model the deferred call's execution point
+// (function exit) — that, too, is rule policy.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A CFGBlock is one basic block: straight-line statements ending in at
+// most one control transfer.
+type CFGBlock struct {
+	Index int
+	// Stmts holds the block's simple statements and, last when present,
+	// the control expression (if/for/switch condition, range or select
+	// subject) that decides the outgoing edge.
+	Stmts []ast.Node
+	Succs []*CFGBlock
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry *CFGBlock
+	// Exit is the single normal-return block (empty; no statements).
+	Exit *CFGBlock
+	// Panic is the single explicit-panic exit block; nil when the
+	// function contains no panic(...) call.
+	Panic  *CFGBlock
+	Blocks []*CFGBlock
+}
+
+// cfgBuilder carries the construction state. break/continue resolve
+// against the innermost enclosing loop/switch/select (or a label), and
+// forward gotos patch in a second pass.
+type cfgBuilder struct {
+	g       *CFG
+	current *CFGBlock
+
+	// breakTargets / continueTargets are stacks of (label, target).
+	breakTargets    []branchTarget
+	continueTargets []branchTarget
+	labels          map[string]*CFGBlock // label -> block the labeled stmt starts
+	gotoPatch       map[string][]*CFGBlock
+}
+
+type branchTarget struct {
+	label string // "" for the innermost unlabeled target
+	block *CFGBlock
+}
+
+// BuildCFG constructs the graph for one function body. body may be the
+// Body of a FuncDecl or a FuncLit; a nil body (declaration without
+// definition) yields a trivial entry→exit graph.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		g:         &CFG{},
+		labels:    map[string]*CFGBlock{},
+		gotoPatch: map[string][]*CFGBlock{},
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.current = b.g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.current, b.g.Exit)
+	// Unresolved gotos (labels on dead paths) fall through to Exit so
+	// the graph stays well formed.
+	for _, srcs := range b.gotoPatch {
+		for _, src := range srcs {
+			b.edge(src, b.g.Exit)
+		}
+	}
+	// Exit blocks always sort last in a dump; renumber so the layout is
+	// stable regardless of construction order.
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *CFGBlock {
+	blk := &CFGBlock{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *CFGBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock seals the current block with an edge into next and makes
+// next current.
+func (b *cfgBuilder) startBlock(next *CFGBlock) {
+	b.edge(b.current, next)
+	b.current = next
+}
+
+// terminate ends the current path (return, branch, panic): subsequent
+// statements land in a fresh unreachable block.
+func (b *cfgBuilder) terminate() {
+	b.current = b.newBlock()
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// panicExit returns (lazily creating) the explicit-panic exit block.
+func (b *cfgBuilder) panicExit() *CFGBlock {
+	if b.g.Panic == nil {
+		b.g.Panic = b.newBlock()
+	}
+	return b.g.Panic
+}
+
+// isPanicCall recognizes a statement that is exactly panic(...).
+func isPanicCall(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// stmt translates one statement. label names the statement when it was
+// the body of a LabeledStmt (so loops register labeled targets).
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The labeled statement starts its own block so gotos have a
+		// target.
+		target := b.newBlock()
+		b.startBlock(target)
+		if label != "" {
+			b.labels[label] = target // nested labels: outer name maps here too
+		}
+		b.labels[s.Label.Name] = target
+		for _, src := range b.gotoPatch[s.Label.Name] {
+			b.edge(src, target)
+		}
+		delete(b.gotoPatch, s.Label.Name)
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.current.Stmts = append(b.current.Stmts, s.Init)
+		}
+		b.current.Stmts = append(b.current.Stmts, s.Cond)
+		condBlock := b.current
+		after := b.newBlock()
+
+		thenBlock := b.newBlock()
+		b.edge(condBlock, thenBlock)
+		b.current = thenBlock
+		b.stmtList(s.Body.List)
+		b.edge(b.current, after)
+
+		if s.Else != nil {
+			elseBlock := b.newBlock()
+			b.edge(condBlock, elseBlock)
+			b.current = elseBlock
+			b.stmt(s.Else, "")
+			b.edge(b.current, after)
+		} else {
+			b.edge(condBlock, after)
+		}
+		b.current = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.current.Stmts = append(b.current.Stmts, s.Init)
+		}
+		header := b.newBlock()
+		b.startBlock(header)
+		if s.Cond != nil {
+			header.Stmts = append(header.Stmts, s.Cond)
+		}
+		after := b.newBlock()
+		post := header // continue target when no post statement
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Stmts = append(post.Stmts, s.Post)
+			b.edge(post, header)
+		}
+		if s.Cond != nil {
+			b.edge(header, after) // condition false
+		}
+		b.pushLoop(label, after, post)
+		body := b.newBlock()
+		b.edge(header, body)
+		b.current = body
+		b.stmtList(s.Body.List)
+		b.edge(b.current, post)
+		b.popLoop()
+		b.current = after
+
+	case *ast.RangeStmt:
+		header := b.newBlock()
+		b.startBlock(header)
+		header.Stmts = append(header.Stmts, s) // the range clause itself
+		after := b.newBlock()
+		b.edge(header, after) // range exhausted
+		b.pushLoop(label, after, header)
+		body := b.newBlock()
+		b.edge(header, body)
+		b.current = body
+		b.stmtList(s.Body.List)
+		b.edge(b.current, header)
+		b.popLoop()
+		b.current = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(s, label)
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		b.pushBreak(label, after)
+		header := b.current
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever: no successors out of header.
+			b.terminate()
+			b.popBreak()
+			b.current = after
+			return
+		}
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CommClause)
+			cb := b.newBlock()
+			b.edge(header, cb)
+			if clause.Comm != nil {
+				cb.Stmts = append(cb.Stmts, clause.Comm)
+			}
+			b.current = cb
+			b.stmtList(clause.Body)
+			b.edge(b.current, after)
+		}
+		b.popBreak()
+		b.current = after
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(b.breakTargets, s.Label); t != nil {
+				b.edge(b.current, t)
+			}
+			b.terminate()
+		case token.CONTINUE:
+			if t := b.findTarget(b.continueTargets, s.Label); t != nil {
+				b.edge(b.current, t)
+			}
+			b.terminate()
+		case token.GOTO:
+			name := s.Label.Name
+			if t, ok := b.labels[name]; ok {
+				b.edge(b.current, t)
+			} else {
+				b.gotoPatch[name] = append(b.gotoPatch[name], b.current)
+			}
+			b.terminate()
+		case token.FALLTHROUGH:
+			// Handled structurally in switchStmt (the clause body flows
+			// into the next clause); nothing to do here.
+		}
+
+	case *ast.ReturnStmt:
+		b.current.Stmts = append(b.current.Stmts, s)
+		b.edge(b.current, b.g.Exit)
+		b.terminate()
+
+	case *ast.ExprStmt:
+		b.current.Stmts = append(b.current.Stmts, s)
+		if isPanicCall(s) {
+			b.edge(b.current, b.panicExit())
+			b.terminate()
+		}
+
+	default:
+		// Assignments, declarations, sends, defers, go statements,
+		// inc/dec, empty statements: straight-line.
+		b.current.Stmts = append(b.current.Stmts, s)
+	}
+}
+
+// switchStmt lowers switch and type-switch: each case clause is a block
+// fed from the header; fallthrough chains a clause body into the next
+// clause's body.
+func (b *cfgBuilder) switchStmt(s ast.Stmt, label string) {
+	var init, tag ast.Node
+	var clauses []ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			init = s.Init
+		}
+		if s.Tag != nil {
+			tag = s.Tag
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			init = s.Init
+		}
+		tag = s.Assign
+		clauses = s.Body.List
+	}
+	if init != nil {
+		b.current.Stmts = append(b.current.Stmts, init)
+	}
+	if tag != nil {
+		b.current.Stmts = append(b.current.Stmts, tag)
+	}
+	header := b.current
+	after := b.newBlock()
+	b.pushBreak(label, after)
+
+	// First pass: allocate a body block per clause so fallthrough can
+	// reference the next one.
+	bodies := make([]*CFGBlock, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		bodies[i] = b.newBlock()
+		b.edge(header, bodies[i])
+		if clause, ok := cc.(*ast.CaseClause); ok && clause.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(header, after) // no case matched
+	}
+	for i, cc := range clauses {
+		clause, ok := cc.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.current = bodies[i]
+		fallsThrough := false
+		for _, st := range clause.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		b.stmtList(clause.Body)
+		if fallsThrough && i+1 < len(bodies) {
+			b.edge(b.current, bodies[i+1])
+			b.terminate()
+		} else {
+			b.edge(b.current, after)
+		}
+	}
+	b.popBreak()
+	b.current = after
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *CFGBlock) {
+	b.breakTargets = append(b.breakTargets, branchTarget{"", brk})
+	b.continueTargets = append(b.continueTargets, branchTarget{"", cont})
+	if label != "" {
+		b.breakTargets = append(b.breakTargets, branchTarget{label, brk})
+		b.continueTargets = append(b.continueTargets, branchTarget{label, cont})
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breakTargets = popTargets(b.breakTargets)
+	b.continueTargets = popTargets(b.continueTargets)
+}
+
+func (b *cfgBuilder) pushBreak(label string, brk *CFGBlock) {
+	b.breakTargets = append(b.breakTargets, branchTarget{"", brk})
+	if label != "" {
+		b.breakTargets = append(b.breakTargets, branchTarget{label, brk})
+	}
+}
+
+func (b *cfgBuilder) popBreak() {
+	b.breakTargets = popTargets(b.breakTargets)
+}
+
+// popTargets removes the innermost unlabeled target and its optional
+// labeled twin (pushed together).
+func popTargets(ts []branchTarget) []branchTarget {
+	if n := len(ts); n > 0 && ts[n-1].label != "" {
+		ts = ts[:n-1]
+	}
+	if n := len(ts); n > 0 {
+		ts = ts[:n-1]
+	}
+	return ts
+}
+
+// findTarget resolves a break/continue: nil label means innermost
+// unlabeled target.
+func (b *cfgBuilder) findTarget(ts []branchTarget, label *ast.Ident) *CFGBlock {
+	if label == nil {
+		for i := len(ts) - 1; i >= 0; i-- {
+			if ts[i].label == "" {
+				return ts[i].block
+			}
+		}
+		return nil
+	}
+	for i := len(ts) - 1; i >= 0; i-- {
+		if ts[i].label == label.Name {
+			return ts[i].block
+		}
+	}
+	return nil
+}
+
+// Reachable reports the blocks reachable from Entry, in a stable
+// (index) order. Construction leaves unreachable placeholder blocks
+// behind terminated paths; dataflow and dumps skip them.
+func (g *CFG) Reachable() []*CFGBlock {
+	seen := make([]bool, len(g.Blocks))
+	var walk func(*CFGBlock)
+	walk = func(b *CFGBlock) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	var out []*CFGBlock
+	for _, b := range g.Blocks {
+		if seen[b.Index] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Dump renders the reachable graph as one line per block —
+// "bN[tags]: stmt, stmt -> bM, bK" — with blocks renumbered densely in
+// reachable order. fset may be nil (statements then print as node type
+// names only). The format is pinned by a golden test so rule bugs are
+// separable from graph bugs.
+func (g *CFG) Dump(fset *token.FileSet) string {
+	blocks := g.Reachable()
+	num := map[*CFGBlock]int{}
+	for i, b := range blocks {
+		num[b] = i
+	}
+	var sb strings.Builder
+	for i, b := range blocks {
+		tag := ""
+		switch b {
+		case g.Entry:
+			tag = " entry"
+		case g.Exit:
+			tag = " exit"
+		case g.Panic:
+			tag = " panic"
+		}
+		fmt.Fprintf(&sb, "b%d%s:", i, tag)
+		for j, s := range b.Stmts {
+			if j > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, " %s", nodeLabel(s))
+		}
+		var succs []int
+		for _, s := range b.Succs {
+			if n, ok := num[s]; ok {
+				succs = append(succs, n)
+			}
+		}
+		sort.Ints(succs)
+		if len(succs) > 0 {
+			sb.WriteString(" ->")
+			for _, n := range succs {
+				fmt.Fprintf(&sb, " b%d", n)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// nodeLabel names a statement or control expression for dumps.
+func nodeLabel(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return "assign"
+	case *ast.DeclStmt:
+		return "decl"
+	case *ast.ExprStmt:
+		if isPanicCall(n) {
+			return "panic"
+		}
+		return "call"
+	case *ast.DeferStmt:
+		return "defer"
+	case *ast.GoStmt:
+		return "go"
+	case *ast.ReturnStmt:
+		return "return"
+	case *ast.SendStmt:
+		return "send"
+	case *ast.IncDecStmt:
+		return "incdec"
+	case *ast.RangeStmt:
+		return "range"
+	case *ast.BinaryExpr, *ast.UnaryExpr, *ast.Ident, *ast.CallExpr, *ast.ParenExpr, *ast.SelectorExpr, *ast.IndexExpr, *ast.TypeAssertExpr, *ast.BasicLit:
+		return "cond"
+	case ast.Stmt:
+		return strings.TrimPrefix(fmt.Sprintf("%T", n), "*ast.")
+	}
+	return strings.TrimPrefix(fmt.Sprintf("%T", n), "*ast.")
+}

@@ -1,0 +1,105 @@
+// A small forward-dataflow solver over the CFGs built in cfg.go. The
+// flow-sensitive rules share its worklist loop and differ only in their
+// lattices:
+//
+//   - lockdiscipline: a finite set of path states (held locks ×
+//     deferred releases), joined by set union;
+//   - atomicpub: variable → {published, snapshot} taint flags, joined
+//     pointwise by flag union.
+//
+// Both lattices are finite and the transfer functions monotone (they
+// only add facts at joins), so the iteration reaches a fixed point; a
+// safety cap bounds pathological graphs anyway.
+package analysis
+
+// A Lattice abstracts one rule's dataflow facts. Join must be
+// commutative and idempotent; Equal decides convergence.
+type Lattice[S any] interface {
+	// Bottom is the "no facts yet" state used to seed unvisited blocks.
+	Bottom() S
+	// Join merges the states flowing into a block from two predecessors.
+	Join(a, b S) S
+	// Equal reports whether two states carry identical facts.
+	Equal(a, b S) bool
+}
+
+// ForwardResult holds the solved per-block states.
+type ForwardResult[S any] struct {
+	// In[b] is the joined state at block b's entry; Out[b] the state
+	// after b's transfer function.
+	In, Out map[*CFGBlock]S
+}
+
+// maxFlowIterations caps the worklist: every real function in this
+// repository converges in a handful of passes; the cap only guards
+// against a buggy (non-monotone) transfer function looping forever.
+const maxFlowIterations = 10000
+
+// Forward solves a forward dataflow problem: entry starts at boundary,
+// every other reachable block at lat.Bottom(), and transfer maps a
+// block's in-state to its out-state. The solver iterates in reverse
+// post order until no state changes.
+func Forward[S any](g *CFG, lat Lattice[S], boundary S, transfer func(b *CFGBlock, in S) S) ForwardResult[S] {
+	blocks := g.Reachable()
+	res := ForwardResult[S]{
+		In:  make(map[*CFGBlock]S, len(blocks)),
+		Out: make(map[*CFGBlock]S, len(blocks)),
+	}
+	order := postOrder(g)
+	// Reverse post order: predecessors usually settle before their
+	// successors, so most graphs converge in two passes.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	for _, b := range blocks {
+		res.In[b] = lat.Bottom()
+		res.Out[b] = lat.Bottom()
+	}
+	res.In[g.Entry] = boundary
+
+	preds := map[*CFGBlock][]*CFGBlock{}
+	for _, b := range blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	changed := true
+	for iter := 0; changed && iter < maxFlowIterations; iter++ {
+		changed = false
+		for _, b := range order {
+			in := res.In[b]
+			if b != g.Entry {
+				in = lat.Bottom()
+				for _, p := range preds[b] {
+					in = lat.Join(in, res.Out[p])
+				}
+			}
+			out := transfer(b, in)
+			if !lat.Equal(in, res.In[b]) || !lat.Equal(out, res.Out[b]) {
+				res.In[b], res.Out[b] = in, out
+				changed = true
+			}
+		}
+	}
+	return res
+}
+
+// postOrder returns the reachable blocks in DFS post order.
+func postOrder(g *CFG) []*CFGBlock {
+	seen := make([]bool, len(g.Blocks))
+	var out []*CFGBlock
+	var walk func(*CFGBlock)
+	walk = func(b *CFGBlock) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+		out = append(out, b)
+	}
+	walk(g.Entry)
+	return out
+}

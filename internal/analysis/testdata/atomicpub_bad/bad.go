@@ -1,0 +1,57 @@
+// Package lintfixture is a known-bad fixture for the atomicpub rule:
+// every function below mutates a value after it was published through
+// an atomic cell (or through a Loaded snapshot without cloning) — the
+// exact races the copy-on-write discipline exists to prevent.
+//
+//celialint:as repro/internal/workqueue/lintfixture
+package lintfixture
+
+import "sync/atomic"
+
+// Registry publishes a lookup map through an atomic pointer; readers
+// Load and read without synchronization.
+type Registry struct {
+	m atomic.Pointer[map[string]int]
+}
+
+// Bump writes through a Loaded snapshot: racing every reader.
+func (r *Registry) Bump(k string) {
+	m := *r.m.Load()
+	m[k]++
+}
+
+// Put aliases the snapshot instead of cloning it, then writes.
+func (r *Registry) Put(k string, v int) {
+	next := *r.m.Load()
+	next[k] = v
+	r.m.Store(&next)
+}
+
+// Seed keeps writing after the map is published.
+func (r *Registry) Seed() {
+	m := map[string]int{"a": 1}
+	r.m.Store(&m)
+	m["b"] = 2
+}
+
+// Drop deletes through a Loaded snapshot.
+func (r *Registry) Drop(k string) {
+	m := *r.m.Load()
+	delete(m, k)
+}
+
+// Box is a published struct; Holder hands out snapshots of it.
+type Box struct {
+	N []int
+}
+
+// Holder publishes *Box values.
+type Holder struct {
+	p atomic.Pointer[Box]
+}
+
+// Mutate writes a field through a Loaded pointer.
+func (h *Holder) Mutate() {
+	b := h.p.Load()
+	b.N = nil
+}

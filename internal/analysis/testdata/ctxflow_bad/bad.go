@@ -1,0 +1,75 @@
+// Package lintfixture is a known-bad fixture for the ctxflow rule:
+// every function below severs or ignores cancellation in a way the
+// rule must flag. The directive places it inside a compute package the
+// rule guards.
+//
+//celialint:as repro/internal/workqueue/lintfixture
+package lintfixture
+
+import "context"
+
+// Blank discards its context with _: cancellation stops here.
+func Blank(_ context.Context, n int) int {
+	return n + 1
+}
+
+// Unused receives a ctx and never touches it — same bug, spelled
+// differently.
+func Unused(ctx context.Context, n int) int {
+	return n * 2
+}
+
+// Detach manufactures a fresh root context while the caller's is live.
+func Detach(ctx context.Context) error {
+	return run(context.Background())
+}
+
+// Spin loops forever without ever polling the context it carries.
+func Spin(ctx context.Context, work chan int) {
+	n := 0
+	for {
+		n++
+		if n > 1000 {
+			n = 0
+		}
+	}
+}
+
+// Scan hands ForEachItem a callback that cannot observe cancellation.
+func Scan(ctx context.Context, items []int) int {
+	total := 0
+	ForEachItem(items, func(v int) {
+		total += v
+	})
+	return total
+}
+
+// Caller opts out of cancellation its callee already supports:
+// WorkContext exists but Work is called.
+func Caller(ctx context.Context) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return Work(3)
+}
+
+// Work is the ctx-blind variant of WorkContext.
+func Work(n int) int { return n * n }
+
+// WorkContext is the cancellation-aware sibling Caller should use.
+func WorkContext(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n * n
+}
+
+// ForEachItem stands in for the space-iteration helpers in
+// internal/config: the rule keys on the ForEach* name shape.
+func ForEachItem(items []int, f func(int)) {
+	for _, v := range items {
+		f(v)
+	}
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

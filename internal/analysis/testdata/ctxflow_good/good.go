@@ -1,0 +1,79 @@
+// Package lintfixture is the known-good twin of ctxflow_bad: the same
+// shapes with cancellation flowing properly, so the rule must stay
+// silent.
+//
+//celialint:as repro/internal/workqueue/lintfixture
+package lintfixture
+
+import "context"
+
+// Used threads its context into the callee.
+func Used(ctx context.Context, n int) (int, error) {
+	if err := run(ctx); err != nil {
+		return 0, err
+	}
+	return n + 1, nil
+}
+
+// Spin polls its context every iteration, so the loop is cancelable.
+func Spin(ctx context.Context, work chan int) int {
+	n := 0
+	for {
+		if ctx.Err() != nil {
+			return n
+		}
+		n++
+	}
+}
+
+// Scan's callback polls ctx — the ctxPollMask idiom's shape.
+func Scan(ctx context.Context, items []int) int {
+	total := 0
+	ForEachItem(items, func(v int) {
+		if ctx.Err() != nil {
+			return
+		}
+		total += v
+	})
+	return total
+}
+
+// Caller uses the context-aware sibling.
+func Caller(ctx context.Context) int {
+	return WorkContext(ctx, 3)
+}
+
+// Work is fine to call from functions with no ctx in scope.
+func Work(n int) int { return n * n }
+
+// WorkContext is the cancellation-aware variant.
+func WorkContext(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n * n
+}
+
+// Offline has no context anywhere: plain loops and ForEach callbacks
+// are fine.
+func Offline(items []int) int {
+	total := 0
+	ForEachItem(items, func(v int) { total += v })
+	for {
+		if total < 100 {
+			total *= 2
+			continue
+		}
+		break
+	}
+	return total
+}
+
+// ForEachItem stands in for the space-iteration helpers.
+func ForEachItem(items []int, f func(int)) {
+	for _, v := range items {
+		f(v)
+	}
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

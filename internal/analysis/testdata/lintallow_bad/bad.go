@@ -16,3 +16,11 @@ func Neq(a, b float64) bool {
 	//lint:allow floateqq typo in the rule name
 	return a != b
 }
+
+// Stale carries a well-formed waiver with nothing left to excuse: the
+// comparison it once suppressed is gone, so the waiver itself is a
+// finding.
+func Stale(a, b float64) float64 {
+	//lint:allow floateq the comparison this excused was removed
+	return a + b
+}

@@ -1,0 +1,76 @@
+// Package lintfixture is a known-bad fixture for the lockdiscipline
+// rule: leaked locks, locks held across blocking operations, and
+// panic-unsafe critical sections.
+//
+//celialint:as repro/internal/workqueue/lintfixture
+package lintfixture
+
+import "sync"
+
+// Store is a mutex-guarded map with a work channel.
+type Store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[string]int
+	ch chan int
+	wg sync.WaitGroup
+}
+
+// Get leaks the mutex on the not-found path.
+func (s *Store) Get(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.m[k]
+	if !ok {
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// Push sends on a channel while holding the lock: anyone who needs the
+// lock to drain the channel deadlocks with us.
+func (s *Store) Push(v int) {
+	s.mu.Lock()
+	s.ch <- v
+	s.mu.Unlock()
+}
+
+// Drain waits on the WaitGroup with the lock held.
+func (s *Store) Drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Sum calls user code inside the critical section without a deferred
+// unlock: a panic in f leaks the lock forever.
+func (s *Store) Sum(f func(int) int) int {
+	s.mu.Lock()
+	total := 0
+	for _, v := range s.m {
+		total += f(v)
+	}
+	s.mu.Unlock()
+	return total
+}
+
+// Double self-deadlocks: sync.Mutex is not reentrant.
+func (s *Store) Double() int {
+	s.mu.Lock()
+	s.mu.Lock()
+	n := len(s.m)
+	s.mu.Unlock()
+	s.mu.Unlock()
+	return n
+}
+
+// ReadLeak leaks the read lock when the map is empty.
+func (s *Store) ReadLeak() int {
+	s.rw.RLock()
+	if len(s.m) == 0 {
+		return 0
+	}
+	n := len(s.m)
+	s.rw.RUnlock()
+	return n
+}

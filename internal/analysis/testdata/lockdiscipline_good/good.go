@@ -1,0 +1,109 @@
+// Package lintfixture is the known-good twin of lockdiscipline_bad:
+// deferred unlocks, branch-complete explicit unlocks, read locks,
+// channel work outside critical sections, and the sync.Cond idiom. The
+// rule must stay silent.
+//
+//celialint:as repro/internal/workqueue/lintfixture
+package lintfixture
+
+import "sync"
+
+// Store is a mutex-guarded map with a work channel.
+type Store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[string]int
+	ch chan int
+}
+
+// Get uses the deferred-unlock idiom: safe on every path including
+// panic.
+func (s *Store) Get(k string) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[k]
+	return v, ok
+}
+
+// GetFast unlocks explicitly on every path (the spot.History shape):
+// fine as long as the critical section cannot panic.
+func (s *Store) GetFast(k string) (int, bool) {
+	s.mu.Lock()
+	if v, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		return v, true
+	}
+	s.mu.Unlock()
+	return 0, false
+}
+
+// Len holds the read lock across builtin-only reads.
+func (s *Store) Len() int {
+	s.rw.RLock()
+	n := len(s.m)
+	s.rw.RUnlock()
+	return n
+}
+
+// Push updates under the lock and sends after releasing it.
+func (s *Store) Push(k string, v int) {
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// Sum runs user code inside the critical section behind a deferred
+// unlock, so a panic in f cannot leak the lock.
+func (s *Store) Sum(f func(int) int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, v := range s.m {
+		total += f(v)
+	}
+	return total
+}
+
+// Relock releases and reacquires around blocking work.
+func (s *Store) Relock(v int) {
+	s.mu.Lock()
+	n := s.m["n"]
+	s.mu.Unlock()
+	s.ch <- n
+	s.mu.Lock()
+	s.m["n"] = v
+	s.mu.Unlock()
+}
+
+// Gate shows the sync.Cond idiom: Cond.Wait requires the lock by
+// contract and is exempt from the held-across-wait check.
+type Gate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	open bool
+}
+
+// NewGate wires the condition variable to the mutex.
+func NewGate() *Gate {
+	g := &Gate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Await blocks until the gate opens.
+func (g *Gate) Await() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for !g.open {
+		g.cond.Wait()
+	}
+}
+
+// Open releases all waiters.
+func (g *Gate) Open() {
+	g.mu.Lock()
+	g.open = true
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}

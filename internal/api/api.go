@@ -748,14 +748,14 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	solves := s.reg.Counter("serving.schedule.solves")
 	stepsSolved := s.reg.Counter("serving.schedule.steps")
 	riskSteps := s.reg.Counter("serving.schedule.risk_steps")
-	s.serve(w, r, q, func(_ context.Context, eng *core.Engine) ([]byte, error) {
+	s.serve(w, r, q, func(ctx context.Context, eng *core.Engine) ([]byte, error) {
 		pol := schedule.PolicyFor(eng)
 		pol.Boot = boot
-		solved, err := schedule.Solve(eng, req.Trace, pol)
+		solved, err := schedule.SolveContext(ctx, eng, req.Trace, pol)
 		if err != nil {
 			return nil, err
 		}
-		baseline, err := schedule.Reactive(eng, req.Trace, pol, autoscale.DefaultPolicy())
+		baseline, err := schedule.ReactiveContext(ctx, eng, req.Trace, pol, autoscale.DefaultPolicy())
 		if err != nil {
 			return nil, err
 		}
@@ -764,7 +764,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 
 		riskAt := make(map[int]schedule.RiskPoint)
 		if req.HazardPerHour > 0 {
-			points, err := schedule.RiskTimeline(app, eng, req.Trace, solved, schedule.RiskOptions{
+			points, err := schedule.RiskTimelineContext(ctx, app, eng, req.Trace, solved, schedule.RiskOptions{
 				HazardPerHour: req.HazardPerHour,
 				Trials:        req.RiskTrials,
 				Every:         riskEvery,

@@ -509,6 +509,7 @@ func (e *Engine) decomposedSearchCtx(ctx context.Context, d units.Instructions, 
 			limits[k] = e.space.Max(i)
 		}
 		counts := make([]int, len(idx))
+		//lint:allow ctxflow bounded odometer over <=3 types of <=max-count each (a few dozen combos); the expensive scans it feeds poll ctx
 		for {
 			var cc catCombo
 			for k, i := range idx {

@@ -255,8 +255,9 @@ func buildFrontierIndex(e *Engine) *FrontierIndex {
 		}
 	}
 	pairs := make([]idxPair, 0, len(merged))
+	// Map order is fine here: pairs are fully sorted below by their
+	// unique (u, cu) key, so output order is total.
 	for _, agg := range merged {
-		//lint:allow nodeterm pairs are fully sorted below by their unique (u, cu) map key, so output order is total
 		pairs = append(pairs, *agg)
 	}
 	sort.Slice(pairs, func(i, j int) bool {

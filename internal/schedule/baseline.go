@@ -5,6 +5,7 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -25,6 +26,13 @@ import (
 // and baseline price the identical switching-cost model (full-step
 // accrual, boot delay, released-quantum carryover).
 func Reactive(eng *core.Engine, tr demand.Trace, pol Policy, rp autoscale.Policy) (Schedule, error) {
+	return ReactiveContext(context.Background(), eng, tr, pol, rp)
+}
+
+// ReactiveContext is Reactive under a request context, polling between
+// steps like SolveContext so the baseline half of a /v1/schedule
+// response cancels as promptly as the DP half.
+func ReactiveContext(ctx context.Context, eng *core.Engine, tr demand.Trace, pol Policy, rp autoscale.Policy) (Schedule, error) {
 	if err := tr.Validate(); err != nil {
 		return Schedule{}, err
 	}
@@ -75,13 +83,16 @@ func Reactive(eng *core.Engine, tr demand.Trace, pol Policy, rp autoscale.Policy
 		return cu
 	}
 
-	ctx := &solveCtx{stepLen: tr.Step, pol: pol}
+	sc := &solveCtx{stepLen: tr.Step, pol: pol}
 	sched := Schedule{
 		StepLen: tr.Step,
 		Policy:  pol,
 		Steps:   make([]Step, len(demands)),
 	}
 	for t, d := range demands {
+		if err := ctx.Err(); err != nil {
+			return Schedule{}, err
+		}
 		uOld := capacityOf()
 		startCounts := append([]int(nil), counts...)
 		if d > 0 {
@@ -133,7 +144,7 @@ func Reactive(eng *core.Engine, tr demand.Trace, pol Policy, rp autoscale.Policy
 
 		boundary := units.Seconds(float64(t)) * tr.Step
 		cost := cu.Over(tr.Step)
-		if carry := ctx.carrySeconds(boundary); carry > 0 {
+		if carry := sc.carrySeconds(boundary); carry > 0 {
 			cost += removedCu.Over(carry)
 		}
 		missed := d > 0 && d > u.Over(tr.Step)-addedCap.Over(pol.Boot)
@@ -159,7 +170,7 @@ func Reactive(eng *core.Engine, tr demand.Trace, pol Policy, rp autoscale.Policy
 		sched.TotalCost += cost
 		sched.Steps[t] = st
 	}
-	sched.ReleasePayout = unitCostOf().Over(ctx.carrySeconds(units.Seconds(float64(len(demands))) * tr.Step))
+	sched.ReleasePayout = unitCostOf().Over(sc.carrySeconds(units.Seconds(float64(len(demands))) * tr.Step))
 	sched.TotalCost += sched.ReleasePayout
 	return sched, nil
 }

@@ -5,6 +5,7 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cloudsim"
@@ -48,6 +49,14 @@ type RiskPoint struct {
 // configuration against the step length as deadline. The schedule must
 // come from the same trace.
 func RiskTimeline(app workload.App, eng *core.Engine, tr demand.Trace, sched Schedule, opts RiskOptions) ([]RiskPoint, error) {
+	return RiskTimelineContext(context.Background(), app, eng, tr, sched, opts)
+}
+
+// RiskTimelineContext is RiskTimeline under a request context, polling
+// before each sampled step — every sample is a full Monte-Carlo
+// estimate, so this is the coarsest poll granularity in the schedule
+// handler and the one that matters most.
+func RiskTimelineContext(ctx context.Context, app workload.App, eng *core.Engine, tr demand.Trace, sched Schedule, opts RiskOptions) ([]RiskPoint, error) {
 	if len(sched.Steps) != tr.Steps() {
 		return nil, fmt.Errorf("schedule: risk timeline: schedule has %d steps, trace %d", len(sched.Steps), tr.Steps())
 	}
@@ -70,6 +79,9 @@ func RiskTimeline(app workload.App, eng *core.Engine, tr demand.Trace, sched Sch
 		st := sched.Steps[t]
 		if st.Demand <= 0 || st.Config.IsEmpty() {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		est, err := risk.Estimate(app, tr.Params(t), st.Config, cat, risk.Options{
 			Trials:        opts.Trials,

@@ -26,6 +26,7 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -131,11 +132,20 @@ type solveCtx struct {
 }
 
 // Solve computes the cost-optimal schedule for the trace on this
-// engine. It forces the engine's frontier index to exist (the build is
-// billing-independent) and errors if the catalog does not compress
-// into an index; demand-model or domain errors for any step surface
-// with the step index.
+// engine, without external cancellation (offline callers: the CLI and
+// tests). The serving path uses SolveContext.
 func Solve(eng *core.Engine, tr demand.Trace, pol Policy) (Schedule, error) {
+	return SolveContext(context.Background(), eng, tr, pol)
+}
+
+// SolveContext is Solve under a request context. It forces the
+// engine's frontier index to exist (the build is billing-independent)
+// and errors if the catalog does not compress into an index;
+// demand-model or domain errors for any step surface with the step
+// index. The DP polls ctx between timesteps (each step is an O(m²)
+// sweep over candidate pairs), so a canceled request stops paying for
+// the horizon it no longer wants.
+func SolveContext(ctx context.Context, eng *core.Engine, tr demand.Trace, pol Policy) (Schedule, error) {
 	if err := tr.Validate(); err != nil {
 		return Schedule{}, err
 	}
@@ -151,8 +161,8 @@ func Solve(eng *core.Engine, tr demand.Trace, pol Policy) (Schedule, error) {
 		return Schedule{}, err
 	}
 
-	ctx := newSolveCtx(eng, cands, tr.Step, pol)
-	m := len(ctx.u)
+	sc := newSolveCtx(eng, cands, tr.Step, pol)
+	m := len(sc.u)
 	n := len(demands)
 	idle := m - 1 // the appended all-idle candidate
 
@@ -182,10 +192,13 @@ func Solve(eng *core.Engine, tr demand.Trace, pol Policy) (Schedule, error) {
 	}
 	nextReach := make([]bool, m)
 	for t := 0; t < n; t++ {
-		boundary := units.Seconds(float64(t)) * ctx.stepLen
-		carrySec := ctx.carrySeconds(boundary)
+		if err := ctx.Err(); err != nil {
+			return Schedule{}, err
+		}
+		boundary := units.Seconds(float64(t)) * sc.stepLen
+		carrySec := sc.carrySeconds(boundary)
 		for j := 0; j < m; j++ {
-			accrue := ctx.cu[j].Over(ctx.stepLen)
+			accrue := sc.cu[j].Over(sc.stepLen)
 			bestI := int32(unreached)
 			var best val
 			for i := 0; i < m; i++ {
@@ -194,9 +207,9 @@ func Solve(eng *core.Engine, tr demand.Trace, pol Policy) (Schedule, error) {
 				}
 				v := val{miss: prev[i].miss, cost: prev[i].cost + accrue}
 				if carrySec > 0 {
-					v.cost += ctx.removedCu[i*m+j].Over(carrySec)
+					v.cost += sc.removedCu[i*m+j].Over(carrySec)
 				}
-				if ctx.missed(i, j, demands[t]) {
+				if sc.missed(i, j, demands[t]) {
 					v.miss++
 				}
 				if bestI == unreached || better(v, best) {
@@ -214,14 +227,14 @@ func Solve(eng *core.Engine, tr demand.Trace, pol Policy) (Schedule, error) {
 	// Horizon end: tearing the final configuration down owes its
 	// released-quantum carryover too, so a plan that hoards capacity
 	// cannot hide the bill past the last step.
-	endCarry := ctx.carrySeconds(units.Seconds(float64(n)) * ctx.stepLen)
+	endCarry := sc.carrySeconds(units.Seconds(float64(n)) * sc.stepLen)
 	last := unreached
 	var lastVal val
 	for j := 0; j < m; j++ {
 		if !reach[j] {
 			continue
 		}
-		v := val{miss: prev[j].miss, cost: prev[j].cost + ctx.cu[j].Over(endCarry)}
+		v := val{miss: prev[j].miss, cost: prev[j].cost + sc.cu[j].Over(endCarry)}
 		if last == unreached || better(v, lastVal) {
 			last, lastVal = j, v
 		}
@@ -236,7 +249,7 @@ func Solve(eng *core.Engine, tr demand.Trace, pol Policy) (Schedule, error) {
 		path[t] = j
 		j = int(parent[t*m+j])
 	}
-	sched := ctx.replay(path, demands, idle)
+	sched := sc.replay(path, demands, idle)
 	sched.Candidates = len(cands)
 	return sched, nil
 }
