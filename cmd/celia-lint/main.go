@@ -16,8 +16,12 @@
 // as one JSON object per line ({"file","line","col","rule","message"}),
 // the format .github/problem-matcher.json teaches GitHub Actions to
 // turn into PR annotations. -rule a,b runs a subset of the suite (for
-// bisecting one rule); -timing prints each rule's cumulative wall time
-// to stderr; the (package × rule) passes run concurrently either way.
+// bisecting one rule); -changed lints only the packages whose files
+// differ from origin/main (committed or not) plus every package that
+// transitively depends on them through the call graph; -timing prints
+// a per-phase breakdown (parse, typecheck, summaries, rules) and each
+// rule's cumulative wall time to stderr; the (package × rule) passes
+// run concurrently either way.
 // Findings are suppressed by "//lint:allow <rule> <reason>" on the
 // same or the preceding line; the reason is mandatory, and a waiver
 // whose rule ran but suppressed nothing is itself a finding (stale
@@ -29,6 +33,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -46,10 +53,11 @@ type jsonFinding struct {
 func main() {
 	list := flag.Bool("list", false, "print the rule set and exit")
 	asJSON := flag.Bool("json", false, "emit findings as JSON lines instead of text")
-	timing := flag.Bool("timing", false, "print per-rule cumulative wall time to stderr")
+	timing := flag.Bool("timing", false, "print per-phase and per-rule wall time to stderr")
 	ruleSel := flag.String("rule", "", "comma-separated rule names to run (default: all); bisect one rule with -rule <name>")
+	changed := flag.Bool("changed", false, "lint only packages differing from origin/main, plus their reverse dependencies via the call graph")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: celia-lint [-list] [-json] [-timing] [-rule a,b] [./... | dir ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: celia-lint [-list] [-json] [-timing] [-rule a,b] [-changed] [./... | dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -57,7 +65,7 @@ func main() {
 	suite := analysis.Suite()
 	if *list {
 		for _, a := range suite {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -97,29 +105,58 @@ func main() {
 		args = []string{"./..."}
 	}
 	var targets []*analysis.CheckedPackage
-	for _, arg := range args {
-		switch arg {
-		case "./...", "...", ".":
-			pkgs, err := loader.LoadModule()
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "celia-lint:", err)
-				os.Exit(2)
+	if *changed {
+		if len(flag.Args()) != 0 {
+			fmt.Fprintln(os.Stderr, "celia-lint: -changed picks its own targets; drop the path arguments")
+			os.Exit(2)
+		}
+		targets, err = changedTargets(loader)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "celia-lint:", err)
+			os.Exit(2)
+		}
+		if len(targets) == 0 {
+			fmt.Fprintln(os.Stderr, "celia-lint: no packages changed vs origin/main")
+			return
+		}
+	} else {
+		for _, arg := range args {
+			switch arg {
+			case "./...", "...", ".":
+				pkgs, err := loader.LoadModule()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "celia-lint:", err)
+					os.Exit(2)
+				}
+				targets = append(targets, pkgs...)
+			default:
+				pkg, err := loader.LoadDir(arg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "celia-lint:", err)
+					os.Exit(2)
+				}
+				targets = append(targets, pkg)
 			}
-			targets = append(targets, pkgs...)
-		default:
-			pkg, err := loader.LoadDir(arg)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "celia-lint:", err)
-				os.Exit(2)
-			}
-			targets = append(targets, pkg)
 		}
 	}
 
-	findings, timings := analysis.RunTimed(suite, targets)
+	findings, timings, stats := analysis.RunTimedStats(suite, targets)
 	if *timing {
+		parse, check := loader.Timing()
+		var rules float64
 		for _, t := range timings {
-			fmt.Fprintf(os.Stderr, "celia-lint: %-14s %8.1fms\n", t.Rule, float64(t.Elapsed.Microseconds())/1000)
+			rules += float64(t.Elapsed.Microseconds()) / 1000
+		}
+		fmt.Fprintf(os.Stderr, "celia-lint: phase parse     %8.1fms\n", float64(parse.Microseconds())/1000)
+		fmt.Fprintf(os.Stderr, "celia-lint: phase typecheck %8.1fms\n", float64(check.Microseconds())/1000)
+		fmt.Fprintf(os.Stderr, "celia-lint: phase summaries %8.1fms\n", float64(stats.SummaryBuild.Microseconds())/1000)
+		fmt.Fprintf(os.Stderr, "celia-lint: phase rules     %8.1fms (cumulative across workers)\n", rules)
+		if m := stats.Module; m.Packages > 0 {
+			fmt.Fprintf(os.Stderr, "celia-lint: module %d pkgs, %d funcs, %d call edges, %d SCCs (largest %d), %d fixpoint re-iterations, %d summary-cache lookups\n",
+				m.Packages, m.Functions, m.Edges, m.SCCs, m.LargestSCC, m.FixpointIters, m.Lookups)
+		}
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "celia-lint: %-16s %8.1fms\n", t.Rule, float64(t.Elapsed.Microseconds())/1000)
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -143,4 +180,96 @@ func main() {
 		fmt.Fprintf(os.Stderr, "celia-lint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// changedTargets lints the blast radius of a branch: the packages
+// whose .go files differ from origin/main (merge-base diff plus
+// uncommitted edits), widened to every package that transitively
+// depends on one of them — through imports and through the call
+// graph's interface-dispatch edges, which is why the whole module is
+// loaded and summarized even though only the closure is linted.
+func changedTargets(loader *analysis.Loader) ([]*analysis.CheckedPackage, error) {
+	base := ""
+	for _, ref := range []string{"origin/main", "main"} {
+		cmd := exec.Command("git", "rev-parse", "--verify", "--quiet", ref)
+		cmd.Dir = loader.Root()
+		if err := cmd.Run(); err == nil {
+			base = ref
+			break
+		}
+	}
+	if base == "" {
+		return nil, fmt.Errorf("-changed: neither origin/main nor main resolves; fetch the base branch or lint ./...")
+	}
+	dirs := map[string]bool{}
+	for _, diffArgs := range [][]string{
+		{"diff", "--name-only", base + "...HEAD"},
+		{"diff", "--name-only", "HEAD"},
+	} {
+		cmd := exec.Command("git", diffArgs...)
+		cmd.Dir = loader.Root()
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("-changed: git %s: %v", strings.Join(diffArgs, " "), err)
+		}
+		for _, f := range strings.Split(string(out), "\n") {
+			if strings.HasSuffix(f, ".go") {
+				dirs[path.Dir(f)] = true
+			}
+		}
+	}
+
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		return nil, err
+	}
+	changed := map[string]bool{}
+	for d := range dirs {
+		ip := loader.ModulePath()
+		if d != "." {
+			ip += "/" + d
+		}
+		changed[ip] = true
+	}
+
+	// Reverse-dependency closure over the call graph's package
+	// projection: a change to a callee can invalidate any caller's
+	// interprocedural findings.
+	deps := analysis.BuildModule(pkgs).PackageDeps()
+	rev := map[string][]string{}
+	for from, tos := range deps {
+		for to := range tos {
+			rev[to] = append(rev[to], from)
+		}
+	}
+	selected := map[string]bool{}
+	queue := make([]string, 0, len(changed))
+	for ip := range changed {
+		selected[ip] = true
+		queue = append(queue, ip)
+	}
+	for len(queue) > 0 {
+		ip := queue[0]
+		queue = queue[1:]
+		for _, dep := range rev[ip] {
+			if !selected[dep] {
+				selected[dep] = true
+				queue = append(queue, dep)
+			}
+		}
+	}
+
+	var targets []*analysis.CheckedPackage
+	nchanged := 0
+	for _, cp := range pkgs {
+		if changed[cp.Path] {
+			nchanged++
+		}
+		if selected[cp.Path] {
+			targets = append(targets, cp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Path < targets[j].Path })
+	fmt.Fprintf(os.Stderr, "celia-lint: -changed: %d changed package(s), %d in closure\n", nchanged, len(targets))
+	return targets, nil
 }

@@ -54,6 +54,10 @@ type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass)
+	// NeedsModule marks interprocedural rules: the driver builds the
+	// call graph + summaries (once per run, shared read-only across the
+	// parallel workers) and hands them to the pass as Pass.Module.
+	NeedsModule bool
 }
 
 // Pass hands one type-checked package to one analyzer.
@@ -63,6 +67,9 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Module is the shared call graph + summary cache; nil unless the
+	// analyzer declared NeedsModule.
+	Module *Module
 
 	rule     string
 	findings *[]Finding
@@ -79,14 +86,22 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // Suite returns the full rule set in stable order.
 func Suite() []*Analyzer {
-	return []*Analyzer{Nodeterm, Floateq, Metricname, Httpenvelope, Nakedgo, Unitsafe, Ctxflow, Atomicpub, Lockdiscipline}
+	return []*Analyzer{Nodeterm, Floateq, Metricname, Httpenvelope, Nakedgo, Unitsafe, Ctxflow, Atomicpub, Lockdiscipline, Cachekey, CtxflowIP, LockdisciplineIP}
 }
 
 // Run applies the analyzers to every package and returns the findings
 // that survive //lint:allow suppression, sorted by position then rule.
 func Run(analyzers []*Analyzer, pkgs []*CheckedPackage) []Finding {
-	findings, _ := RunTimed(analyzers, pkgs)
+	findings, _, _ := RunTimedStats(analyzers, pkgs)
 	return findings
+}
+
+// RunStats reports the non-rule costs of a run: the shared
+// interprocedural module build (zero when no selected rule needed it)
+// and the module's own counters.
+type RunStats struct {
+	SummaryBuild time.Duration
+	Module       ModuleStats
 }
 
 // RuleTiming is one rule's cumulative wall time across every package
@@ -111,6 +126,16 @@ type RuleTiming struct {
 // selected this run (celia-lint -rule) are left alone: the rule not
 // running is no evidence the waiver is dead.
 func RunTimed(analyzers []*Analyzer, pkgs []*CheckedPackage) ([]Finding, []RuleTiming) {
+	findings, timings, _ := RunTimedStats(analyzers, pkgs)
+	return findings, timings
+}
+
+// RunTimedStats is RunTimed plus RunStats. When any selected analyzer
+// declares NeedsModule, the call graph and summaries are built once up
+// front — over the union of the target packages and their loader
+// universe, so a lone fixture package still sees the production
+// functions it calls — and shared read-only by every worker.
+func RunTimedStats(analyzers []*Analyzer, pkgs []*CheckedPackage) ([]Finding, []RuleTiming, RunStats) {
 	// "Known" rules for allow validation are the full suite, not just
 	// the selected analyzers: -rule must not turn valid waivers into
 	// unknown-rule findings.
@@ -119,9 +144,31 @@ func RunTimed(analyzers []*Analyzer, pkgs []*CheckedPackage) ([]Finding, []RuleT
 		known[a.Name] = true
 	}
 	active := map[string]bool{}
+	needsModule := false
 	for _, a := range analyzers {
 		known[a.Name] = true
 		active[a.Name] = true
+		if a.NeedsModule {
+			needsModule = true
+		}
+	}
+
+	var stats RunStats
+	var module *Module
+	if needsModule {
+		start := time.Now()
+		seen := map[*CheckedPackage]bool{}
+		var universe []*CheckedPackage
+		for _, cp := range pkgs {
+			for _, u := range append(cp.Universe, cp) {
+				if !seen[u] {
+					seen[u] = true
+					universe = append(universe, u)
+				}
+			}
+		}
+		module = BuildModule(universe)
+		stats.SummaryBuild = time.Since(start)
 	}
 
 	grid := make([][][]Finding, len(pkgs))
@@ -140,12 +187,17 @@ func RunTimed(analyzers []*Analyzer, pkgs []*CheckedPackage) ([]Finding, []RuleT
 				defer func() { <-sem }()
 				start := time.Now()
 				var raw []Finding
+				var mod *Module
+				if a.NeedsModule {
+					mod = module
+				}
 				a.Run(&Pass{
-					Fset:  cp.Fset,
-					Path:  cp.Path,
-					Files: cp.Files,
-					Pkg:   cp.Pkg,
-					Info:  cp.Info,
+					Fset:   cp.Fset,
+					Path:   cp.Path,
+					Files:  cp.Files,
+					Pkg:    cp.Pkg,
+					Info:   cp.Info,
+					Module: mod,
 
 					rule:     a.Name,
 					findings: &raw,
@@ -197,7 +249,10 @@ func RunTimed(analyzers []*Analyzer, pkgs []*CheckedPackage) ([]Finding, []RuleT
 	for ai, a := range analyzers {
 		timings[ai] = RuleTiming{Rule: a.Name, Elapsed: time.Duration(elapsed[ai])}
 	}
-	return all, timings
+	if module != nil {
+		stats.Module = module.Stats()
+	}
+	return all, timings, stats
 }
 
 // allowKey identifies one suppressed (file, line, rule) triple.

@@ -44,6 +44,9 @@ func TestAnalyzersFireOnBadFixtures(t *testing.T) {
 		{"ctxflow", "ctxflow_bad", 6},
 		{"atomicpub", "atomicpub_bad", 5},
 		{"lockdiscipline", "lockdiscipline_bad", 6},
+		{"cachekey", "cachekey_bad", 3},
+		{"ctxflowip", "ctxflowip_bad", 2},
+		{"lockdisciplineip", "lockdisciplineip_bad", 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {
@@ -75,6 +78,9 @@ func TestAnalyzersQuietOnGoodFixtures(t *testing.T) {
 		"ctxflow_good",
 		"atomicpub_good",
 		"lockdiscipline_good",
+		"cachekey_good",
+		"ctxflowip_good",
+		"lockdisciplineip_good",
 	}
 	for _, dir := range dirs {
 		t.Run(dir, func(t *testing.T) {

@@ -1,0 +1,137 @@
+// The ctxflow-ip rule: interprocedural context propagation. The intra
+// rule (ctxflow.go) sees one frame — it catches a dropped ctx param or
+// a Background() under a live ctx, but not a chain that quietly sheds
+// cancellation two frames down: RiskTimelineContext polls its ctx
+// between steps, then calls a worker pool that blocks on channels with
+// no way to stop. The summaries (summary.go) carry may-block/may-scan
+// transitively, so this rule sees the whole chain from any depth.
+//
+// Finding condition: a function that holds a live context (a ctx
+// parameter, or a locally derived one) synchronously calls a module
+// function that (a) has no context parameter anywhere in its signature
+// and (b) may block on goroutine coordination or run an unbounded scan
+// loop, per its summary. The call site is where cancellation dies, so
+// that is where the finding points; the message carries the summary's
+// why-chain so a two-frame-deep channel wait is named directly.
+//
+// Wrappers are flagged too, by construction: Foo() { FooContext(
+// context.Background(), ...) } has no ctx param, and its summary
+// inherits Blocks from FooContext's body — callers holding a live ctx
+// who call Foo get a finding, which is exactly the PR 7 bug class.
+//
+// Deliberate exclusions, to keep the signal sharp: go'd calls (the
+// goroutine is not on this path; nakedgo polices lifecycle), callees
+// with any ctx param (the caller may still pass the wrong one — the
+// intra rule's Background() check covers that), and blocking via
+// mutexes or Cond.Wait (bounded by the lock discipline, not
+// cancellation).
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxflowIP is the eleventh analyzer; see the comment above.
+var CtxflowIP = &Analyzer{
+	Name:        "ctxflowip",
+	Doc:         "A live context must reach every callee that may block or scan: flag calls into context-free chains that can no longer be canceled",
+	Run:         runCtxflowIP,
+	NeedsModule: true,
+}
+
+func runCtxflowIP(pass *Pass) {
+	in := false
+	for _, prefix := range ctxflowScope {
+		if pathWithin(pass.Path, prefix) {
+			in = true
+			break
+		}
+	}
+	if !in || pass.Module == nil {
+		return
+	}
+	c := &ctxIPChecker{pass: pass, reported: map[token.Pos]bool{}}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.visitFunc(fd.Type, fd.Body, false)
+		}
+	}
+}
+
+type ctxIPChecker struct {
+	pass     *Pass
+	reported map[token.Pos]bool
+}
+
+// visitFunc mirrors the intra rule's traversal: literals inherit the
+// enclosing frame's ctx availability, go'd literals start fresh (their
+// lifetime is not the request's unless a ctx is passed in explicitly).
+func (c *ctxIPChecker) visitFunc(ftype *ast.FuncType, body *ast.BlockStmt, inherited bool) {
+	info := c.pass.Info
+	hasCtx := inherited
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok && name.Name != "_" && isContextType(v.Type()) {
+					hasCtx = true
+				}
+			}
+		}
+	}
+	if !hasCtx {
+		hasCtx = declaresCtxLocal(info, body)
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.visitFunc(n.Type, n.Body, hasCtx)
+			return false
+		case *ast.GoStmt:
+			// The go'd call itself is off-path; its argument expressions
+			// still evaluate here but contain no calls we would miss that
+			// matter more than the goroutine's own body, which nakedgo and
+			// the literal-visit above cover.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				c.visitFunc(lit.Type, lit.Body, false)
+			}
+			return false
+		case *ast.CallExpr:
+			if hasCtx {
+				c.checkCall(n)
+			}
+		}
+		return true
+	})
+}
+
+func (c *ctxIPChecker) checkCall(call *ast.CallExpr) {
+	if c.reported[call.Pos()] {
+		return
+	}
+	callees, _ := c.pass.Module.ResolveCall(c.pass.Info, call)
+	for _, callee := range callees {
+		sum := c.pass.Module.SummaryOf(callee)
+		if sum == nil || sum.HasCtxParam {
+			continue
+		}
+		var verb, why string
+		switch {
+		case sum.Blocks:
+			verb, why = "block", sum.BlocksWhy
+		case sum.Scans:
+			verb, why = "scan", sum.ScansWhy
+		default:
+			continue
+		}
+		c.reported[call.Pos()] = true
+		c.pass.Reportf(call.Pos(), "%s may %s (%s) but takes no context: cancellation from this frame's live ctx stops here — add a Context-taking variant and thread ctx through", calleeDisplay(callee), verb, why)
+		return
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // CheckedPackage is one parsed and type-checked package, ready for the
@@ -25,6 +26,14 @@ type CheckedPackage struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Imports lists the package's module-internal imports (effective
+	// import paths), for the -changed reverse-dependency closure.
+	Imports []string
+	// Universe is every module package checked by the same loader. The
+	// interprocedural rules build their call graph and summaries over it,
+	// so a single fixture or mutant package still sees the summaries of
+	// the production functions it calls.
+	Universe []*CheckedPackage
 }
 
 // Loader parses and type-checks module packages using only the
@@ -41,6 +50,13 @@ type Loader struct {
 	checked  map[string]*types.Package
 	packages map[string]*CheckedPackage
 	fallback types.Importer
+
+	moduleList []*CheckedPackage // LoadModule result, in dependency order
+
+	// Per-phase wall time, for celia-lint -timing. Both accumulate (the
+	// loader memoizes, so repeated loads add ~nothing).
+	parseWall time.Duration
+	checkWall time.Duration
 }
 
 // NewLoader locates the enclosing module of dir and prepares a loader
@@ -71,6 +87,14 @@ func NewLoader(dir string) (*Loader, error) {
 
 // ModulePath reports the module path declared in go.mod.
 func (l *Loader) ModulePath() string { return l.modPath }
+
+// Root reports the module root directory (the one holding go.mod) —
+// celia-lint -changed resolves git paths against it.
+func (l *Loader) Root() string { return l.root }
+
+// Timing reports cumulative parse and type-check wall time — the first
+// two phases of celia-lint -timing's breakdown.
+func (l *Loader) Timing() (parse, check time.Duration) { return l.parseWall, l.checkWall }
 
 func findModuleRoot(dir string) (string, error) {
 	for {
@@ -148,6 +172,10 @@ func (l *Loader) LoadModule() ([]*CheckedPackage, error) {
 		}
 		out = append(out, cp)
 	}
+	l.moduleList = out
+	for _, cp := range out {
+		cp.Universe = out
+	}
 	return out, nil
 }
 
@@ -165,7 +193,12 @@ func (l *Loader) LoadDir(dir string) (*CheckedPackage, error) {
 	if p == nil {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
-	return l.check(p)
+	cp, err := l.check(p)
+	if err != nil {
+		return nil, err
+	}
+	cp.Universe = l.moduleList
+	return cp, nil
 }
 
 // parsedDir is one directory's worth of parsed files.
@@ -221,6 +254,8 @@ func (l *Loader) parseDir(dir string) (*parsedDir, error) {
 	if len(names) == 0 {
 		return nil, nil
 	}
+	start := time.Now()
+	defer func() { l.parseWall += time.Since(start) }()
 	sort.Strings(names)
 	p := &parsedDir{dir: dir, importPath: l.importPathFor(dir)}
 	seen := map[string]bool{}
@@ -317,6 +352,8 @@ func topoSort(parsed map[string]*parsedDir) ([]string, error) {
 
 // check type-checks one parsed directory and caches the result.
 func (l *Loader) check(p *parsedDir) (*CheckedPackage, error) {
+	start := time.Now()
+	defer func() { l.checkWall += time.Since(start) }()
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -342,7 +379,7 @@ func (l *Loader) check(p *parsedDir) (*CheckedPackage, error) {
 		}
 		return nil, fmt.Errorf("analysis: type errors in %s:\n  %s", p.importPath, strings.Join(msgs, "\n  "))
 	}
-	cp := &CheckedPackage{Fset: l.Fset, Path: p.importPath, Files: p.files, Pkg: pkg, Info: info}
+	cp := &CheckedPackage{Fset: l.Fset, Path: p.importPath, Files: p.files, Pkg: pkg, Info: info, Imports: p.imports}
 	l.checked[p.importPath] = pkg
 	l.packages[p.importPath] = cp
 	return cp, nil

@@ -124,3 +124,76 @@ func TestMutantsTripFlowRules(t *testing.T) {
 		}
 	})
 }
+
+// TestMutantsTripInterproceduralRules re-introduces the production
+// bugs the interprocedural rules were built to catch: drop a Query
+// field from the serving cache key, swap the context-threaded risk
+// estimate back to the context-free one, and pull a lock-re-acquiring
+// call inside the critical section. Each mutant must fail lint under
+// exactly the rule built for it.
+func TestMutantsTripInterproceduralRules(t *testing.T) {
+	l := newTestLoader(t)
+	// The interprocedural rules need the whole-module summary universe:
+	// the schedule mutant's findings hinge on the summary of
+	// risk.Estimate, which lives in a different package.
+	if _, err := l.LoadModule(); err != nil {
+		t.Fatal(err)
+	}
+
+	assertOnly := func(t *testing.T, findings []Finding, rule, what string) {
+		t.Helper()
+		if len(findings) == 0 {
+			t.Fatalf("%s must trip %s, got 0 findings", what, rule)
+		}
+		for _, f := range findings {
+			if f.Rule != rule {
+				t.Errorf("unexpected rule %q: %s", f.Rule, f.String())
+			}
+		}
+	}
+
+	t.Run("cachekey/key-builder-drops-BudgetUSD", func(t *testing.T) {
+		dir := t.TempDir()
+		copyPackageGo(t, "../serving", dir)
+		mutateFile(t, filepath.Join(dir, "serving.go"),
+			"[5]float64{q.N, q.A, float64(q.DeadlineHours), float64(q.BudgetUSD), q.HazardPerHour}",
+			"[4]float64{q.N, q.A, float64(q.DeadlineHours), q.HazardPerHour}")
+		writeIdentity(t, dir, "serving", "repro/internal/serving/lintmutant_cachekey")
+		cp, err := l.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("mutated serving no longer type-checks: %v", err)
+		}
+		assertOnly(t, Run([]*Analyzer{Cachekey}, []*CheckedPackage{cp}),
+			"cachekey", "dropping BudgetUSD from the key builder")
+	})
+
+	t.Run("ctxflowip/risk-timeline-drops-ctx", func(t *testing.T) {
+		dir := t.TempDir()
+		copyPackageGo(t, "../schedule", dir)
+		mutateFile(t, filepath.Join(dir, "risk.go"),
+			"est, err := risk.EstimateContext(ctx, app, tr.Params(t), st.Config, cat, risk.Options{",
+			"est, err := risk.Estimate(app, tr.Params(t), st.Config, cat, risk.Options{")
+		writeIdentity(t, dir, "schedule", "repro/internal/schedule/lintmutant_ctxflowip")
+		cp, err := l.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("mutated schedule no longer type-checks: %v", err)
+		}
+		assertOnly(t, Run([]*Analyzer{CtxflowIP}, []*CheckedPackage{cp}),
+			"ctxflowip", "calling the context-free risk.Estimate from the timeline")
+	})
+
+	t.Run("lockdisciplineip/gauge-refresh-under-lock", func(t *testing.T) {
+		dir := t.TempDir()
+		copyPackageGo(t, "../serving", dir)
+		mutateFile(t, filepath.Join(dir, "lifecycle.go"),
+			"\tf.mu.Unlock()\n\tf.refreshDegradedGauge()\n",
+			"\tf.refreshDegradedGauge()\n\tf.mu.Unlock()\n")
+		writeIdentity(t, dir, "serving", "repro/internal/serving/lintmutant_lockip")
+		cp, err := l.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("mutated serving no longer type-checks: %v", err)
+		}
+		assertOnly(t, Run([]*Analyzer{LockdisciplineIP}, []*CheckedPackage{cp}),
+			"lockdisciplineip", "re-acquiring f.mu via refreshDegradedGauge while holding it")
+	})
+}

@@ -1,0 +1,65 @@
+// Package lintfixture is a known-bad fixture for the cachekey rule:
+// a handler whose compute closure reads a request field the cache key
+// omits, a key builder that forgets a Query field, and a cache call
+// whose compute function cannot be traced. The directive places it
+// inside the api tree the rule guards.
+//
+//celialint:as repro/internal/api/lintfixture_cachekey
+package lintfixture
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Query mirrors the serving cache-query shape (recognized by name).
+type Query struct {
+	Kind  string
+	App   string
+	N     float64
+	Extra string
+}
+
+// fooRequest is the wire request (recognized by the decode below and
+// the *Request naming).
+type fooRequest struct {
+	App   string  `json:"app"`
+	N     float64 `json:"n"`
+	Label string  `json:"label"`
+}
+
+// Do stands in for Frontdoor.Do: pure plumbing, exempt (both the query
+// and the compute function are parameters passed through).
+func Do(q Query, compute func() ([]byte, error)) ([]byte, error) {
+	_ = key(q)
+	return compute()
+}
+
+// key forgets Query.Extra: two queries differing only there collide.
+func key(q Query) string {
+	return fmt.Sprintf("%s|%s|%g", q.Kind, q.App, q.N)
+}
+
+// Handler's closure echoes req.Label, but the key never includes it —
+// the stale-cache bug the rule exists for.
+func Handler(body []byte) ([]byte, error) {
+	var req fooRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	q := Query{Kind: "foo", App: req.App, N: req.N}
+	return Do(q, func() ([]byte, error) {
+		return []byte(req.App + req.Label), nil
+	})
+}
+
+// HandlerOpaque forwards a caller-supplied compute function over a
+// locally built query: the proof obligation cannot be discharged.
+func HandlerOpaque(body []byte, compute func() ([]byte, error)) ([]byte, error) {
+	var req fooRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	q := Query{Kind: "opaque", App: req.App, N: req.N, Extra: req.Label}
+	return Do(q, compute)
+}

@@ -1,0 +1,61 @@
+// Package lintfixture is the known-good counterpart of cachekey_bad:
+// every request field the closure reads is keyed (including one read
+// through a derived local), and the key builder consumes every Query
+// field.
+//
+//celialint:as repro/internal/api/lintfixture_cachekey_good
+package lintfixture
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// Query mirrors the serving cache-query shape (recognized by name).
+type Query struct {
+	Kind  string
+	App   string
+	N     float64
+	Extra string
+}
+
+type fooRequest struct {
+	App   string  `json:"app"`
+	N     float64 `json:"n"`
+	Label string  `json:"label"`
+	Cap   int     `json:"cap"`
+}
+
+// Do stands in for Frontdoor.Do: pure plumbing, exempt.
+func Do(q Query, compute func() ([]byte, error)) ([]byte, error) {
+	_ = key(q)
+	return compute()
+}
+
+// key consumes every Query field.
+func key(q Query) string {
+	return fmt.Sprintf("%s|%s|%g|%s", q.Kind, q.App, q.N, q.Extra)
+}
+
+// Handler keys everything its closure reads: Label rides Extra, and
+// the defaulted cap local carries its source field's taint into both
+// the key and the closure.
+func Handler(body []byte) ([]byte, error) {
+	var req fooRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	cap := req.Cap
+	if cap == 0 {
+		cap = 100
+	}
+	q := Query{Kind: "foo", App: req.App, N: req.N,
+		Extra: req.Label + "|" + strconv.Itoa(cap)}
+	return Do(q, func() ([]byte, error) {
+		if cap < 0 {
+			return nil, fmt.Errorf("bad cap")
+		}
+		return []byte(req.App + req.Label), nil
+	})
+}

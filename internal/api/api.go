@@ -588,7 +588,7 @@ func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
 		if t.Len() != cat.Len() {
 			return nil, fmt.Errorf("config arity %d does not match the catalog's %d types", t.Len(), cat.Len())
 		}
-		est, err := risk.Estimate(app, p, t, cat, risk.Options{
+		est, err := risk.EstimateContext(ctx, app, p, t, cat, risk.Options{
 			Trials:        trials,
 			Seed:          req.Seed,
 			HazardPerHour: req.HazardPerHour,
@@ -740,11 +740,13 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 
 	// The trace hash plus every policy knob that shapes the response
 	// body goes into the cache key via Extra; hazard, trials, and seed
-	// ride the shared Query fields.
+	// ride the shared Query fields. The advisory trace name is keyed
+	// too — Hash deliberately skips it, but the response echoes it, so
+	// two traces differing only in name must not share a cache entry.
 	q := serving.Query{Kind: "schedule", App: req.App,
 		HazardPerHour: req.HazardPerHour, Trials: req.RiskTrials, Seed: req.Seed,
-		Extra: fmt.Sprintf("%s|boot=%s|every=%d|cap=%d", req.Trace.Hash(),
-			strconv.FormatFloat(float64(boot), 'g', -1, 64), riskEvery, maxTimeline)}
+		Extra: fmt.Sprintf("%s|boot=%s|every=%d|cap=%d|name=%s", req.Trace.Hash(),
+			strconv.FormatFloat(float64(boot), 'g', -1, 64), riskEvery, maxTimeline, req.Trace.Name)}
 	solves := s.reg.Counter("serving.schedule.solves")
 	stepsSolved := s.reg.Counter("serving.schedule.steps")
 	riskSteps := s.reg.Counter("serving.schedule.risk_steps")

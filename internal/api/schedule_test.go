@@ -181,3 +181,48 @@ func TestScheduleEndpointValidation(t *testing.T) {
 		t.Fatalf("unknown trace field: status %d, want 400", code)
 	}
 }
+
+// TestScheduleCacheDistinctPerTraceName is the regression test for the
+// stale-cache bug the cachekey lint rule caught: demand.Trace.Hash
+// deliberately skips the advisory Name, but the schedule response
+// echoes it, so two requests differing only in name must land in
+// distinct cache entries — each echoing its own name, the second a
+// miss, never a hit serving the first request's bytes.
+func TestScheduleCacheDistinctPerTraceName(t *testing.T) {
+	ts := newTestServer(t)
+	tr := scheduleTestTrace(24)
+	tr.Name = "alpha"
+	renamed := tr
+	renamed.Name = "beta"
+	if tr.Hash() != renamed.Hash() {
+		t.Fatal("test premise broken: renaming the trace changed its hash")
+	}
+
+	var first ScheduleResponse
+	if code := postJSON(t, ts.URL+"/v1/schedule", scheduleRequest{App: "galaxy", Trace: tr}, &first); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if first.TraceName != "alpha" {
+		t.Fatalf("first response echoes trace name %q, want alpha", first.TraceName)
+	}
+
+	raw, _ := json.Marshal(scheduleRequest{App: "galaxy", Trace: renamed})
+	r2, err := http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if got := r2.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("X-Cache = %q for a request differing only in trace name, want miss", got)
+	}
+	var second ScheduleResponse
+	if err := json.NewDecoder(r2.Body).Decode(&second); err != nil {
+		t.Fatal(err)
+	}
+	if second.TraceName != "beta" {
+		t.Fatalf("second response echoes trace name %q, want beta (stale cache entry)", second.TraceName)
+	}
+	if first.TraceHash != second.TraceHash || first.TotalCostUSD != second.TotalCostUSD {
+		t.Fatalf("renamed trace changed the solve: %+v vs %+v", first, second)
+	}
+}

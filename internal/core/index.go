@@ -620,6 +620,11 @@ func (e *Engine) ensureIndex() *FrontierIndex {
 	if e.idxTried.Load() {
 		return e.idx.Load()
 	}
+	// The build's worker join runs under idxMu on purpose: the lock is
+	// exactly what makes the build at-most-once, the fan-out is a static
+	// chunking over GOMAXPROCS workers that touches no other locks, and
+	// every later caller takes the fast path above without locking.
+	//lint:allow lockdisciplineip deliberate build-under-lock: bounded internal worker join, no other locks involved
 	x := buildFrontierIndex(e)
 	if x != nil {
 		e.idx.Store(x)

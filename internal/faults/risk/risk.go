@@ -13,6 +13,7 @@
 package risk
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -100,10 +101,24 @@ func trialSeed(seed uint64, trial int) uint64 {
 	return detrand.Mix(seed, trial)
 }
 
-// Estimate runs the Monte-Carlo evaluation. Deterministic for equal
-// inputs regardless of Workers: results are collected by trial index
-// and aggregated in order.
+// Estimate runs the Monte-Carlo evaluation without external
+// cancellation (offline callers: the CLI and the sweep). The serving
+// path uses EstimateContext.
 func Estimate(app workload.App, p workload.Params, tuple config.Tuple, cat *ec2.Catalog, opts Options) (Result, error) {
+	return EstimateContext(context.Background(), app, p, tuple, cat, opts)
+}
+
+// EstimateContext is Estimate under a request context. Deterministic
+// for equal inputs regardless of Workers: results are collected by
+// trial index and aggregated in order. The trial dispatch loop races
+// each hand-off against ctx, so a canceled request stops after the
+// in-flight trials instead of paying for the full draw count; a
+// canceled estimate returns ctx's error and no partial result (a
+// partial aggregate would not be replayable).
+func EstimateContext(ctx context.Context, app workload.App, p workload.Params, tuple config.Tuple, cat *ec2.Catalog, opts Options) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if opts.Trials < 0 {
 		return Result{}, fmt.Errorf("risk: negative trial count %d", opts.Trials)
 	}
@@ -173,10 +188,19 @@ func Estimate(app workload.App, p workload.Params, tuple config.Tuple, cat *ec2.
 		}()
 	}
 	for i := 0; i < opts.Trials; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			close(idx)
+			wg.Wait() // workers drain the closed channel; bounded by in-flight trials
+			return Result{}, ctx.Err()
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 
 	out := Result{
 		Trials:       opts.Trials,

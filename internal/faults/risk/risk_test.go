@@ -1,7 +1,11 @@
 package risk
 
 import (
+	"context"
+	"errors"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/apps/galaxy"
 	"repro/internal/apps/x264"
@@ -193,5 +197,67 @@ func TestStrictAbortCountsFailedTrialsAsMisses(t *testing.T) {
 	if res.MissProb < float64(res.Failed)/float64(res.Trials) {
 		t.Fatalf("miss probability %v below the failed-trial fraction %v",
 			res.MissProb, float64(res.Failed)/float64(res.Trials))
+	}
+}
+
+// cancelAfterEntry is a Context that reports itself canceled on every
+// Err poll after the first: EstimateContext's entry check passes, and
+// the next poll — the trial-dispatch select or the post-join check —
+// sees a canceled context. That makes mid-run cancellation
+// deterministic without sleeping against the Monte-Carlo's wall clock.
+type cancelAfterEntry struct {
+	done  chan struct{}
+	polls atomic.Int32
+}
+
+func newCancelAfterEntry() *cancelAfterEntry {
+	ch := make(chan struct{})
+	close(ch)
+	return &cancelAfterEntry{done: ch}
+}
+
+func (c *cancelAfterEntry) Deadline() (time.Time, bool)       { return time.Time{}, false }
+func (c *cancelAfterEntry) Done() <-chan struct{}             { return c.done }
+func (c *cancelAfterEntry) Value(key interface{}) interface{} { return nil }
+func (c *cancelAfterEntry) Err() error {
+	if c.polls.Add(1) == 1 {
+		return nil
+	}
+	return context.Canceled
+}
+
+// TestEstimateContextCancellation is the regression test for the
+// dropped-ctx bug the ctxflow-ip rule caught: the serving path used to
+// call the context-free Estimate, so request cancellation never
+// reached the trial dispatch. Both the entry check and the dispatch
+// loop must observe cancellation.
+func TestEstimateContextCancellation(t *testing.T) {
+	cat := ec2.Oregon()
+	tuple := config.MustTuple(2, 0, 0, 0, 0, 0, 0, 0, 0)
+	p := workload.Params{N: 16, A: 20}
+
+	// Already-canceled context: rejected before any trial runs.
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EstimateContext(pre, x264.App{}, p, tuple, cat, baseOpts()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled ctx: err = %v, want context.Canceled", err)
+	}
+
+	// Canceled right after entry: the dispatch must stop mid-run and
+	// surface the cancellation, not drain all trials and return a result.
+	opts := baseOpts()
+	opts.Trials = MaxTrials
+	opts.Workers = 1
+	res, err := EstimateContext(newCancelAfterEntry(), x264.App{}, p, tuple, cat, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: err = %v, want context.Canceled", err)
+	}
+	if res != (Result{}) {
+		t.Fatalf("canceled estimate returned a partial result: %+v", res)
+	}
+
+	// The context-free wrapper still works for offline callers.
+	if _, err := Estimate(x264.App{}, p, tuple, cat, baseOpts()); err != nil {
+		t.Fatalf("Estimate: %v", err)
 	}
 }

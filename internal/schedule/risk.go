@@ -53,9 +53,9 @@ func RiskTimeline(app workload.App, eng *core.Engine, tr demand.Trace, sched Sch
 }
 
 // RiskTimelineContext is RiskTimeline under a request context, polling
-// before each sampled step — every sample is a full Monte-Carlo
-// estimate, so this is the coarsest poll granularity in the schedule
-// handler and the one that matters most.
+// before each sampled step and threading ctx into each estimate —
+// every sample is a full Monte-Carlo draw, so cancellation must reach
+// the trial dispatch inside it, not just the loop between samples.
 func RiskTimelineContext(ctx context.Context, app workload.App, eng *core.Engine, tr demand.Trace, sched Schedule, opts RiskOptions) ([]RiskPoint, error) {
 	if len(sched.Steps) != tr.Steps() {
 		return nil, fmt.Errorf("schedule: risk timeline: schedule has %d steps, trace %d", len(sched.Steps), tr.Steps())
@@ -83,7 +83,7 @@ func RiskTimelineContext(ctx context.Context, app workload.App, eng *core.Engine
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		est, err := risk.Estimate(app, tr.Params(t), st.Config, cat, risk.Options{
+		est, err := risk.EstimateContext(ctx, app, tr.Params(t), st.Config, cat, risk.Options{
 			Trials:        opts.Trials,
 			Seed:          detrand.Mix(opts.Seed, t),
 			HazardPerHour: opts.HazardPerHour,

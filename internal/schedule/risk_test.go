@@ -1,6 +1,8 @@
 package schedule
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -57,5 +59,24 @@ func TestRiskTimelineCaps(t *testing.T) {
 	short := testTrace(8)
 	if _, err := RiskTimeline(galaxy.App{}, eng, short, sched, RiskOptions{}); err == nil {
 		t.Fatal("trace/schedule length mismatch accepted")
+	}
+}
+
+// TestRiskTimelineContextCancellation asserts the request context
+// reaches the timeline loop: a canceled ctx stops the sweep before any
+// Monte-Carlo estimate runs and surfaces context.Canceled, completing
+// the /v1/schedule cancellation chain down to the trial dispatch.
+func TestRiskTimelineContextCancellation(t *testing.T) {
+	tr := testTrace(12)
+	eng := testEngine(t, 2, model.PerSecond)
+	sched, err := Solve(eng, tr, Policy{Boot: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := RiskOptions{HazardPerHour: 0.05, Trials: 20, Seed: 11}
+	if _, err := RiskTimelineContext(ctx, galaxy.App{}, eng, tr, sched, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx: err = %v, want context.Canceled", err)
 	}
 }
