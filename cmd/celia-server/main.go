@@ -36,6 +36,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/ec2"
+	"repro/internal/model"
 	"repro/internal/serving"
 	"repro/internal/store"
 )
@@ -54,7 +55,8 @@ func main() {
 		queue    = flag.Int("queue-depth", 0, "admitted requests waiting beyond the worker pool (0 = 4x max-concurrent, -1 = none)")
 		reqTO    = flag.Duration("request-timeout", 60*time.Second, "per-request deadline from admission to completion")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
-		index    = flag.Bool("index", true, "answer analytic queries from the frontier index (built lazily per engine; per-hour billing always scans)")
+		index    = flag.Bool("index", true, "answer analytic queries from the frontier index (built lazily per engine; serves per-second and per-hour billing alike)")
+		billing  = flag.String("billing", "persecond", "billing policy for every mounted engine: persecond (Eq. 5 verbatim), perhour (2017-era started-hour billing)")
 		snapDir  = flag.String("snapshot-dir", "", "directory of frontier-index snapshots: restored at startup (skipping the multi-second build) and rewritten after background rebuilds; empty disables persistence")
 	)
 	flag.Parse()
@@ -93,6 +95,17 @@ func main() {
 		}
 	}
 
+	switch *billing {
+	case "persecond":
+		// Engines default to per-second; nothing to set.
+	case "perhour":
+		for _, eng := range engines {
+			eng.SetBilling(model.PerHour)
+		}
+	default:
+		log.Fatalf("unknown billing %q (persecond, perhour)", *billing)
+	}
+
 	cacheBytes := int64(*cacheMB) << 20
 	if *cacheMB <= 0 {
 		cacheBytes = -1 // disabled
@@ -127,8 +140,9 @@ func main() {
 	}
 	if *index {
 		// The frontdoor opted every engine in above; a non-empty reason
-		// here means analytic queries will scan anyway (e.g. per-hour
-		// billing). One line per engine, also exported at GET /v1/apps.
+		// here means analytic queries will scan anyway (an uncertified
+		// billing policy, or a catalog past the pair cap). One line per
+		// engine, also exported at GET /v1/apps.
 		for _, name := range fd.Apps() {
 			eng, _ := fd.Engine(name)
 			if reason := eng.IndexBypassReason(); reason != "" {

@@ -31,18 +31,23 @@
 //   - Responses carry an X-Cache header (hit, miss, or coalesced).
 //   - Query responses carry an X-Index header: "on" when the mounted
 //     engine answers this kind of query from its built frontier index
-//     (byte-identical to the exhaustive scan), "degraded" when the app
-//     is in the declared degraded state (index unavailable, serving
-//     from the exhaustive scan until the background rebuild lands),
-//     "off" for scan-backed answers, Monte-Carlo kinds, and before the
-//     lazy index build. Schedule responses report "on" whenever the
-//     billing-independent staircase exists — a per-hour engine bypasses
-//     the index for per-query kinds but still solves schedules from it.
+//     (byte-identical to the exhaustive scan under every certified
+//     billing policy — per-second and per-hour alike), "degraded" when
+//     the app is in the declared degraded state (index unavailable,
+//     serving from the exhaustive scan until the background rebuild
+//     lands). Scan-backed answers distinguish why: "off-config" when
+//     the engine was deliberately opted out, "off-billing" when the
+//     billing policy is not certified index-monotone, "off-pair-cap"
+//     when the catalog did not compress under the pair cap, and plain
+//     "off" for Monte-Carlo kinds and before the lazy index build.
+//     Schedule responses report "on" whenever the billing-independent
+//     staircase exists, regardless of the per-query routing.
 //   - GET /readyz reports per-app index lifecycle state (pending /
-//     building / built / degraded / bypassed, with the reason) in its
-//     JSON body; the top-level status is "degraded" (still 200 — the
-//     app answers correctly, just slower) when any app serves from the
-//     scan in degraded mode, and 503 "draining" during shutdown.
+//     building / built / degraded / bypassed, with the reason and the
+//     machine-readable bypass cause: config, billing, or pair-cap) in
+//     its JSON body; the top-level status is "degraded" (still 200 —
+//     the app answers correctly, just slower) when any app serves from
+//     the scan in degraded mode, and 503 "draining" during shutdown.
 //   - Request deadlines propagate into the compute: a scan-path query
 //     that outlives its request context aborts cooperatively and
 //     returns 503 with Retry-After instead of hogging a worker.
@@ -232,6 +237,9 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 type AppIndexStatus struct {
 	IndexActive  bool   `json:"index_active"`
 	BypassReason string `json:"bypass_reason,omitempty"`
+	// BypassCause is the machine-readable counterpart of BypassReason:
+	// "config", "billing", or "pair-cap"; empty when the index serves.
+	BypassCause string `json:"bypass_cause,omitempty"`
 }
 
 func (s *Server) handleApps(w http.ResponseWriter, _ *http.Request) {
@@ -240,7 +248,18 @@ func (s *Server) handleApps(w http.ResponseWriter, _ *http.Request) {
 	for _, name := range names {
 		eng, _ := s.fd.Engine(name)
 		reason := eng.IndexBypassReason()
-		idx[name] = AppIndexStatus{IndexActive: reason == "", BypassReason: reason}
+		st := AppIndexStatus{IndexActive: reason == "", BypassReason: reason}
+		if reason != "" {
+			switch eng.IndexBypassCause() {
+			case core.BypassConfig:
+				st.BypassCause = "config"
+			case core.BypassBilling:
+				st.BypassCause = "billing"
+			case core.BypassPairCap:
+				st.BypassCause = "pair-cap"
+			}
+		}
+		idx[name] = st
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Apps  []string                  `json:"apps"`
@@ -302,6 +321,10 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, q serving.Query, 
 // the response either came from the index or is byte-identical to what
 // the index serves; "degraded" means the app is in a declared degraded
 // or rebuilding state and the response came from the exhaustive scan.
+// Scan-backed answers carry the bypass cause as a suffix —
+// "off-config", "off-billing", "off-pair-cap" — so a dashboard can
+// tell a deliberate opt-out from a capability gap; plain "off" covers
+// non-analytic kinds and the pre-build window.
 func (s *Server) indexHeader(q serving.Query) string {
 	eng, ok := s.fd.Engine(q.App)
 	if !ok || !serving.AnalyticKind(q.Kind) {
@@ -309,7 +332,7 @@ func (s *Server) indexHeader(q serving.Query) string {
 	}
 	if q.Kind == "schedule" {
 		// The horizon solver reuses the billing-independent staircase,
-		// so it is index-backed even on per-hour engines.
+		// so it is index-backed regardless of the per-query routing.
 		if eng.FrontierBuilt() {
 			return "on"
 		}
@@ -321,6 +344,14 @@ func (s *Server) indexHeader(q serving.Query) string {
 	if st, ok := s.fd.IndexStatusFor(q.App); ok &&
 		(st.State == serving.IndexDegraded || st.State == serving.IndexBuilding) {
 		return "degraded"
+	}
+	switch eng.IndexBypassCause() {
+	case core.BypassConfig:
+		return "off-config"
+	case core.BypassBilling:
+		return "off-billing"
+	case core.BypassPairCap:
+		return "off-pair-cap"
 	}
 	return "off"
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/apps/galaxy"
 	"repro/internal/apps/x264"
 	"repro/internal/core"
+	"repro/internal/model"
 	"repro/internal/serving"
 	"repro/internal/workload"
 )
@@ -540,7 +541,7 @@ func TestReadyzFlipsWhileDraining(t *testing.T) {
 // TestIndexHeader asserts the X-Index contract: analytic queries on an
 // index-opted engine answer "on" once the lazy build has run —
 // including on cache hits, which must not trigger a build — while a
-// DisableIndex frontdoor stays scan-backed and answers "off".
+// DisableIndex frontdoor stays scan-backed and answers "off-config".
 func TestIndexHeader(t *testing.T) {
 	ts := newTestServer(t)
 	body := []byte(`{"app":"galaxy","n":65536,"a":8000,"deadline_hours":24}`)
@@ -575,12 +576,44 @@ func TestIndexHeader(t *testing.T) {
 	}
 	scanTS := httptest.NewServer(s)
 	t.Cleanup(scanTS.Close)
-	if idx, _ := post(scanTS.URL); idx != "off" {
-		t.Fatalf("X-Index = %q with the index disabled, want off", idx)
+	if idx, _ := post(scanTS.URL); idx != "off-config" {
+		t.Fatalf("X-Index = %q with the index disabled, want off-config", idx)
 	}
 	if got := fd.Metrics().Counter("serving.index.bypass").Value(); got < 1 {
 		t.Fatalf("serving.index.bypass = %d after a scan-backed compute", got)
 	}
+	if got := fd.Metrics().Counter("serving.index.bypass_billing").Value(); got != 0 {
+		t.Fatalf("serving.index.bypass_billing = %d for a config opt-out, want 0", got)
+	}
+
+	// An uncertified billing policy surfaces as a capability gap: the
+	// header distinguishes it from the deliberate opt-out above.
+	bfd, err := serving.NewFrontdoor(map[string]*core.Engine{
+		"galaxy": billingEngine(model.Billing(7)),
+	}, serving.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := NewServer(bfd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	billTS := httptest.NewServer(bs)
+	t.Cleanup(billTS.Close)
+	if idx, _ := post(billTS.URL); idx != "off-billing" {
+		t.Fatalf("X-Index = %q under an uncertified billing policy, want off-billing", idx)
+	}
+	if got := bfd.Metrics().Counter("serving.index.bypass_billing").Value(); got != 1 {
+		t.Fatalf("serving.index.bypass_billing = %d, want 1", got)
+	}
+}
+
+// billingEngine builds a paper engine opted into the index but running
+// an arbitrary billing policy.
+func billingEngine(b model.Billing) *core.Engine {
+	eng := core.NewPaperEngine(galaxy.App{})
+	eng.SetBilling(b)
+	return eng
 }
 
 func TestInternalErrorMapsTo500(t *testing.T) {

@@ -211,10 +211,12 @@ const ctxPollMask = 8192 - 1
 func errAborted(err error) error { return fmt.Errorf("core: query aborted: %w", err) }
 
 // Analyze runs Algorithm 1 over the entire space and Pareto-filters the
-// feasible set. Under per-second billing, an engine opted into the
-// frontier index (SetUseIndex) answers sampling-free censuses from the
-// precomputed pair table instead of re-walking the space; the two paths
-// produce byte-identical Analysis values (certified in index_test.go).
+// feasible set. An engine opted into the frontier index (SetUseIndex)
+// answers sampling-free censuses from the precomputed pair table
+// instead of re-walking the space — under per-second and per-hour
+// billing alike (model.Billing.Indexable); the two paths produce
+// byte-identical Analysis values (certified in index_test.go and the
+// per-billing property harness).
 func (e *Engine) Analyze(p workload.Params, cons Constraints, opts Options) (Analysis, error) {
 	return e.AnalyzeContext(context.Background(), p, cons, opts)
 }
@@ -348,8 +350,8 @@ func (e *Engine) scanCensus(ctx context.Context, an *Analysis, d units.Instructi
 }
 
 // searchBest routes a single-objective query to the frontier index
-// when it is active (per-second billing, opted in, built) and to the
-// decomposed search otherwise.
+// when it is active (opted in, billing certified index-monotone,
+// built) and to the decomposed search otherwise.
 func (e *Engine) searchBest(d units.Instructions, cons Constraints, obj objective) (model.Prediction, bool) {
 	pred, ok, _ := e.searchBestCtx(context.Background(), d, cons, obj)
 	return pred, ok

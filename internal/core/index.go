@@ -1,21 +1,30 @@
-// The demand-invariant frontier index. Under per-second billing
-// (Eq. 5 verbatim) a configuration's predictions are
+// The demand-invariant frontier index. A configuration's predictions
+// are
 //
-//	T = D/U          (Eq. 2)
-//	C = (c_u/3600)·T (Eq. 5/6)
+//	T = D/U               (Eq. 2)
+//	C = billCost(T, c_u)  (Eq. 5/6, or its per-hour ceil variant)
 //
 // so for two configurations p, q with U_p ≥ U_q and c_u,p ≤ c_u,q,
-// monotonicity of IEEE-754 correctly-rounded division and
-// multiplication gives fl(D/U_p) ≤ fl(D/U_q) and fl(s_p·T_p) ≤
-// fl(s_q·T_q) for every demand D — domination in the
-// (capacity ↑, unit cost ↓) plane implies floating-point (time, cost)
-// domination for every query. The Pareto staircase of the distinct
-// (U, c_u) pairs is therefore a demand-invariant candidate superset of
-// every per-query frontier, and one scan of the space answers all of
-// them. Per-hour billing breaks this: ceil(T) makes cost a step
-// function of demand, so which configuration wins depends on where T
-// lands relative to hour boundaries, and every per-hour query falls
-// back to the exhaustive scan (see DESIGN.md §9).
+// monotonicity of IEEE-754 correctly-rounded division gives
+// fl(D/U_p) ≤ fl(D/U_q) for every demand D, and joint monotonicity of
+// billCost in (T, c_u) — certified per policy by
+// model.Billing.Indexable — carries that through to C_p ≤ C_q:
+// domination in the (capacity ↑, unit cost ↓) plane implies
+// floating-point (time, cost) domination for every query. The Pareto
+// staircase of the distinct (U, c_u) pairs is therefore a
+// demand-invariant candidate superset of every per-query frontier, and
+// one scan of the space answers all of them. Crucially the argument
+// never needs billCost to be linear: per-hour ceil billing flattens
+// distinct times onto the same started-hour count but never reorders
+// them (fl(T/3600), math.Ceil, the max(1, ·) clamp, and fl(c_u·h) are
+// each monotone), so pairs the staircase drops as (u, cu)-dominated
+// are (T, C)-dominated under per-hour billing too, for every demand.
+// Pairs the staircase keeps — incomparable in the (u, cu) plane — are
+// resolved per query by the same billing-aware billCost the scan uses,
+// which is how hour-boundary reorderings between demands are handled
+// exactly rather than precomputed away (see DESIGN.md §9). Billing
+// policies not certified by Indexable fall back to the exhaustive
+// scan.
 package core
 
 import (
@@ -75,9 +84,10 @@ type stairStep struct {
 
 // FrontierIndex is the precomputed demand-invariant view of one
 // engine's configuration space. Build once with the engine's exact
-// per-configuration arithmetic, then answer any per-second-billing
-// query in O(|staircase| + spans·log) instead of O(S) model
-// evaluations. Immutable after construction; safe for concurrent use.
+// per-configuration arithmetic, then answer any query under an
+// Indexable billing policy in O(|staircase| + spans·log) instead of
+// O(S) model evaluations. Immutable after construction; safe for
+// concurrent use.
 type FrontierIndex struct {
 	pairs []idxPair
 	spans []idxSpan
@@ -562,10 +572,11 @@ func (x *FrontierIndex) minSearch(e *Engine, d units.Instructions, cons Constrai
 // Candidate is one staircase step of the demand-invariant frontier:
 // an exact (capacity, unit cost) value pair together with a
 // deterministic representative configuration (the lessTuple-minimal
-// member of the step's cheapest pair). Under per-second billing every
-// per-query optimum takes its (time, cost) values from some candidate,
-// whatever the demand — the property the schedule solver builds on:
-// one candidate table prices every timestep of a trace.
+// member of the step's cheapest pair). Under any Indexable billing
+// policy every per-query optimum takes its (time, cost) values from
+// some candidate, whatever the demand — the property the schedule
+// solver builds on: one candidate table prices every timestep of a
+// trace.
 type Candidate struct {
 	Config config.Tuple
 	U      units.Rate
@@ -587,10 +598,10 @@ func (x *FrontierIndex) Candidates() []Candidate {
 // staircase candidates regardless of the engine's billing policy or
 // index opt-in: the (U, c_u) pair table and its staircase depend only
 // on the catalog (billing enters at query-time pricing), so horizon
-// solvers can reuse one build even on per-hour engines, where the
-// per-query index paths fall back to the scan, and on engines that
-// never opted their query surface in. ok is false when the catalog
-// does not compress under the pair cap.
+// solvers can reuse one build even on engines whose billing is not
+// certified index-monotone (their per-query paths fall back to the
+// scan) and on engines that never opted their query surface in. ok is
+// false when the catalog does not compress under the pair cap.
 func (e *Engine) FrontierCandidates() ([]Candidate, bool) {
 	idx := e.ensureIndex()
 	if idx == nil {
@@ -641,7 +652,7 @@ func (e *Engine) ensureIndex() *FrontierIndex {
 // this engine's configuration space; callers are responsible for
 // matching the catalog itself (internal/snapshot pins it with a
 // fingerprint). Installing does not flip the query surface on — the
-// engine still honors SetUseIndex and the per-hour bypass.
+// engine still honors SetUseIndex and the billing certification gate.
 func (e *Engine) InstallIndex(x *FrontierIndex) error {
 	if x == nil {
 		return fmt.Errorf("core: install of nil index")
@@ -693,10 +704,11 @@ func (e *Engine) SetUseIndex(on bool) { e.useIndex = on }
 func (e *Engine) UseIndex() bool { return e.useIndex }
 
 // indexFor returns the index when this query may be answered from it:
-// the engine opted in, billing is per-second (per-hour ceil breaks
-// demand invariance), and the build did not overflow maxIndexPairs.
+// the engine opted in, the billing policy is certified index-monotone
+// (model.Billing.Indexable — per-second and per-hour both are), and
+// the build did not overflow maxIndexPairs.
 func (e *Engine) indexFor() *FrontierIndex {
-	if !e.useIndex || e.billing == model.PerHour {
+	if !e.useIndex || !e.billing.Indexable() {
 		return nil
 	}
 	return e.ensureIndex()
@@ -708,8 +720,9 @@ func (e *Engine) indexFor() *FrontierIndex {
 func (e *Engine) IndexActive() bool { return e.indexFor() != nil }
 
 // FrontierIndex exposes the engine's index (building it on first use);
-// ok is false when the engine is opted out, billing is per-hour, or the
-// catalog did not compress under maxIndexPairs.
+// ok is false when the engine is opted out, the billing policy is not
+// certified index-monotone, or the catalog did not compress under
+// maxIndexPairs.
 func (e *Engine) FrontierIndex() (*FrontierIndex, bool) {
 	idx := e.indexFor()
 	return idx, idx != nil
@@ -717,19 +730,59 @@ func (e *Engine) FrontierIndex() (*FrontierIndex, bool) {
 
 // IndexBuilt reports whether queries are currently routed to an
 // already-built index, without triggering the build: response headers
-// and telemetry probe this on paths (cache hits, per-hour engines)
+// and telemetry probe this on paths (cache hits, bypassed engines)
 // that must not pay the build cost. The atomic load orders the idx
 // pointer read after the build's completing store.
 func (e *Engine) IndexBuilt() bool {
-	return e.useIndex && e.billing != model.PerHour && e.idxReady.Load()
+	return e.useIndex && e.billing.Indexable() && e.idxReady.Load()
 }
 
 // FrontierBuilt reports whether the billing-independent pair table and
 // staircase exist (built by any path, including FrontierCandidates),
-// without triggering a build. Distinct from IndexBuilt: a per-hour
+// without triggering a build. Distinct from IndexBuilt: an opted-out
 // engine's per-query paths bypass the index, yet a horizon solve on it
 // is still index-backed.
 func (e *Engine) FrontierBuilt() bool { return e.idxReady.Load() }
+
+// BypassCause classifies why analytic queries on an engine are (or
+// would be) answered by the exhaustive scan instead of the frontier
+// index, so operators can tell a configuration choice from a
+// capability gap (the serving layer counts and labels them
+// separately).
+type BypassCause int
+
+const (
+	// BypassNone: the index path is active or will activate on the
+	// first routed query.
+	BypassNone BypassCause = iota
+	// BypassConfig: the engine was deliberately opted out
+	// (SetUseIndex(false) / serving's DisableIndex) — a config choice.
+	BypassConfig
+	// BypassBilling: the engine's billing policy is not certified
+	// index-monotone (model.Billing.Indexable) — a capability gap.
+	// Per-second and per-hour are both certified; only unknown future
+	// policies land here.
+	BypassBilling
+	// BypassPairCap: the catalog did not compress under maxIndexPairs,
+	// so the build aborted — a capability gap.
+	BypassPairCap
+)
+
+// IndexBypassCause reports the engine's bypass classification without
+// triggering a build. Opt-out is reported before billing: a
+// deliberately scan-backed engine stays "config" whatever it bills.
+func (e *Engine) IndexBypassCause() BypassCause {
+	switch {
+	case !e.useIndex:
+		return BypassConfig
+	case !e.billing.Indexable():
+		return BypassBilling
+	case e.idxTried.Load() && !e.idxReady.Load():
+		return BypassPairCap
+	default:
+		return BypassNone
+	}
+}
 
 // IndexBypassReason explains why analytic queries on this engine are
 // (or would be) answered by the exhaustive scan instead of the
@@ -737,12 +790,12 @@ func (e *Engine) FrontierBuilt() bool { return e.idxReady.Load() }
 // activate on the first routed query, and never triggers a build
 // itself, so operators can probe it at startup for free.
 func (e *Engine) IndexBypassReason() string {
-	switch {
-	case !e.useIndex:
+	switch e.IndexBypassCause() {
+	case BypassConfig:
 		return "index disabled for this engine"
-	case e.billing == model.PerHour:
-		return "per-hour billing breaks demand invariance; every query falls back to the exhaustive scan"
-	case e.idxTried.Load() && !e.idxReady.Load():
+	case BypassBilling:
+		return fmt.Sprintf("billing policy %s is not certified index-monotone; every query falls back to the exhaustive scan", e.billing)
+	case BypassPairCap:
 		return "catalog did not compress under the pair cap; queries fall back to the exhaustive scan"
 	default:
 		return ""

@@ -133,25 +133,102 @@ func TestIndexEqualsScanRandomized(t *testing.T) {
 				trial, pI, predI, okI, pS, predS, okS)
 		}
 
-		// Per-hour billing must route around the index: ceil'd cost
-		// breaks demand invariance, so the engine falls back to the
-		// scan paths even while opted in.
+		// Per-hour billing must route *through* the same index: ceil'd
+		// cost is still jointly monotone in (time, unit cost), so the
+		// billing-independent staircase stays a valid candidate
+		// superset and every answer — census, frontier, argmin tuple,
+		// tie metadata — must match the scan bit for bit.
 		eng.SetBilling(model.PerHour)
-		if eng.IndexActive() {
-			t.Fatalf("trial %d: index active under per-hour billing", trial)
+		eng.SetUseIndex(true)
+		if !eng.IndexActive() {
+			t.Fatalf("trial %d: index inactive under per-hour billing", trial)
 		}
-		hourlyIdx, okH, err := eng.MinCostForDeadline(p, deadline)
+		dem, err := eng.Demand(p)
 		if err != nil {
 			t.Fatal(err)
+		}
+		idx := eng.indexFor()
+		for ci, cons := range conss {
+			eng.SetUseIndex(false)
+			scanAn, err := eng.Analyze(p, cons, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.SetUseIndex(true)
+			idxAn, err := eng.Analyze(p, cons, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(idxAn, scanAn) {
+				t.Fatalf("trial %d cons %d: per-hour indexed Analysis %+v != scan %+v",
+					trial, ci, idxAn, scanAn)
+			}
+			for _, obj := range []objective{objectiveCost, objectiveTime} {
+				got, okG := idx.minSearch(eng, dem, cons, obj)
+				want, okW := eng.scanSearch(dem, cons, obj)
+				if okG != okW || !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d cons %d obj %d: per-hour indexed (%+v, %v) != scan (%+v, %v)",
+						trial, ci, obj, got, okG, want, okW)
+				}
+			}
 		}
 		eng.SetUseIndex(false)
-		hourlyScan, okHS, err := eng.MinCostForDeadline(p, deadline)
+		pHS, predHS, okHS, err := eng.MaxAccuracy(math.Max(1, d/2), cons, 1e-3)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if okH != okHS || !reflect.DeepEqual(hourlyIdx, hourlyScan) {
-			t.Fatalf("trial %d: per-hour fallback diverged: %+v/%v vs %+v/%v",
-				trial, hourlyIdx, okH, hourlyScan, okHS)
+		eng.SetUseIndex(true)
+		pHI, predHI, okHI, err := eng.MaxAccuracy(math.Max(1, d/2), cons, 1e-3)
+		if err != nil {
+			t.Fatal(err)
 		}
+		if okHS != okHI || pHS != pHI || !reflect.DeepEqual(predHS, predHI) {
+			t.Fatalf("trial %d: per-hour MaxAccuracy indexed (%+v, %+v, %v) != scan (%+v, %+v, %v)",
+				trial, pHI, predHI, okHI, pHS, predHS, okHS)
+		}
+	}
+}
+
+// TestIndexPerHourPairCapFallsBack keeps the scan-fallback contract
+// under per-hour billing: a catalog exceeding the pair cap must bypass
+// the index with the pair-cap cause (not the billing one) and still
+// answer bit-identically from the scan.
+func TestIndexPerHourPairCapFallsBack(t *testing.T) {
+	old := maxIndexPairs
+	maxIndexPairs = 2
+	defer func() { maxIndexPairs = old }()
+	rng := rand.New(detSource{detrand.New(0xce11a)})
+	eng := randomEngine(t, rng)
+	eng.SetUseIndex(true)
+	eng.SetBilling(model.PerHour)
+	maxCap := 0.0
+	eng.Space().ForEach(func(tp config.Tuple) bool {
+		if u := float64(eng.Capacities().Capacity(tp)); u > maxCap {
+			maxCap = u
+		}
+		return true
+	})
+	deadline := units.FromHours(5)
+	p := workload.Params{N: maxCap * 0.5 * float64(deadline), A: 1}
+	cons := Constraints{Deadline: deadline, Budget: 50}
+
+	scanEng := randomEngine(t, rand.New(detSource{detrand.New(0xce11a)}))
+	scanEng.SetBilling(model.PerHour)
+	want, err := scanEng.Analyze(p, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Analyze(p, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.IndexActive() {
+		t.Fatal("index active past the pair cap")
+	}
+	if cause := eng.IndexBypassCause(); cause != BypassPairCap {
+		t.Fatalf("bypass cause = %d, want BypassPairCap", cause)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("pair-cap fallback diverged: %+v != %+v", got, want)
 	}
 }

@@ -224,20 +224,21 @@ func TestIndexedSamplingForcesScan(t *testing.T) {
 	requireSameAnalysis(t, "sampled", idx, scan)
 }
 
-func TestIndexPerHourBillingFallsBack(t *testing.T) {
+func TestIndexPerHourBillingServes(t *testing.T) {
+	// Per-hour ceil billing is jointly monotone in (time, unit cost),
+	// so the same index serves it: queries stay routed, and they match
+	// the exhaustive per-hour argmin exactly — tuple included.
 	eng := indexedEngine(t, galaxy.App{}, 2)
 	if !eng.IndexActive() {
 		t.Fatal("per-second index inactive")
 	}
 	eng.SetBilling(model.PerHour)
-	if eng.IndexActive() {
-		t.Fatal("index active under per-hour billing: ceil breaks demand invariance")
+	if !eng.IndexActive() {
+		t.Fatal("index inactive under per-hour billing: ceil billing is certified index-monotone")
 	}
-	if _, ok := eng.FrontierIndex(); ok {
-		t.Fatal("FrontierIndex handed out under per-hour billing")
+	if _, ok := eng.FrontierIndex(); !ok {
+		t.Fatal("FrontierIndex withheld under per-hour billing")
 	}
-	// Queries keep answering, from the scan, and match the exhaustive
-	// per-hour argmin exactly.
 	p := workload.Params{N: 32768, A: 2000}
 	got, okG, err := eng.MinCostForDeadline(p, units.FromHours(24))
 	if err != nil {
@@ -250,9 +251,18 @@ func TestIndexPerHourBillingFallsBack(t *testing.T) {
 		t.Fatal(err)
 	}
 	if okG != okW || !reflect.DeepEqual(got, want) {
-		t.Fatalf("per-hour fallback: %+v/%v != exhaustive %+v/%v", got, okG, want, okW)
+		t.Fatalf("per-hour indexed: %+v/%v != exhaustive %+v/%v", got, okG, want, okW)
 	}
-	// Switching back to per-second re-activates the already-built index.
+	// Uncertified billing policies fall back to the scan — and flip
+	// back to the already-built index when billing returns to a
+	// certified policy.
+	eng.SetBilling(model.Billing(7))
+	if eng.IndexActive() {
+		t.Fatal("index active under an uncertified billing policy")
+	}
+	if cause := eng.IndexBypassCause(); cause != BypassBilling {
+		t.Fatalf("bypass cause = %d, want BypassBilling", cause)
+	}
 	eng.SetBilling(model.PerSecond)
 	if !eng.IndexActive() {
 		t.Fatal("index did not reactivate under per-second billing")
@@ -380,6 +390,62 @@ func TestIndexGoldenPaperSpaceSand(t *testing.T) {
 	}
 }
 
+func TestIndexGoldenPaperSpacePerHour(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-space census in -short mode")
+	}
+	// The per-hour golden certification: on the paper's full
+	// configuration space under the billing policy the paper's own era
+	// used, the indexed Analyze and argmin must reproduce the exhaustive
+	// scan byte for byte — this is the query mix that used to fall back
+	// to the ~350ms scan.
+	scanEng := NewPaperEngine(galaxy.App{})
+	scanEng.SetBilling(model.PerHour)
+	idxEng := NewPaperEngine(galaxy.App{})
+	idxEng.SetBilling(model.PerHour)
+	idxEng.SetUseIndex(true)
+	if !idxEng.IndexActive() {
+		// Force the lazy build through a query below; IndexActive only
+		// turns true after the first build attempt succeeds.
+		if _, ok := idxEng.FrontierIndex(); !ok {
+			t.Fatal("paper engine refused to build the index under per-hour billing")
+		}
+	}
+
+	p := workload.Params{N: 65536, A: 8000}
+	for _, c := range []struct {
+		label string
+		cons  Constraints
+	}{
+		{"both", Constraints{Deadline: units.FromHours(24), Budget: 350}},
+		{"deadline-only", Constraints{Deadline: units.FromHours(24)}},
+		{"budget-only", Constraints{Budget: 350}},
+		{"unconstrained", Constraints{}},
+	} {
+		scan, err := scanEng.Analyze(p, c.cons, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := idxEng.Analyze(p, c.cons, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameAnalysis(t, "per-hour "+c.label, got, scan)
+	}
+
+	pred, okP, err := idxEng.MinCostForDeadline(p, units.FromHours(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exh, okE, err := scanEng.MinCostExhaustive(p, units.FromHours(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okP != okE || !reflect.DeepEqual(pred, exh) {
+		t.Errorf("per-hour indexed mincost %+v/%v != exhaustive %+v/%v", pred, okP, exh, okE)
+	}
+}
+
 func TestFrontierCandidatesStaircase(t *testing.T) {
 	eng := indexedEngine(t, galaxy.App{}, 2)
 	cands, ok := eng.FrontierCandidates()
@@ -406,9 +472,9 @@ func TestFrontierCandidatesStaircase(t *testing.T) {
 }
 
 func TestFrontierCandidatesIgnoreBillingAndOptIn(t *testing.T) {
-	// Neither per-hour billing nor a missing opt-in blocks the build:
-	// the staircase depends only on the catalog, so horizon solvers
-	// get the same candidates the per-second index serves.
+	// Neither billing policy nor a missing opt-in blocks the build: the
+	// staircase depends only on the catalog, so horizon solvers get the
+	// same candidates the query index serves.
 	ref := indexedEngine(t, galaxy.App{}, 2)
 	want, ok := ref.FrontierCandidates()
 	if !ok {
@@ -430,7 +496,10 @@ func TestFrontierCandidatesIgnoreBillingAndOptIn(t *testing.T) {
 		t.Fatal("FrontierBuilt false after a successful build")
 	}
 	if eng.IndexActive() {
-		t.Fatal("per-hour query path claims the index despite the scan fallback")
+		t.Fatal("query path claims the index despite the missing opt-in")
+	}
+	if cause := eng.IndexBypassCause(); cause != BypassConfig {
+		t.Fatalf("bypass cause = %d, want BypassConfig (opt-out outranks billing)", cause)
 	}
 }
 
@@ -442,8 +511,14 @@ func TestIndexBypassReason(t *testing.T) {
 
 	perHour := indexedEngine(t, galaxy.App{}, 1)
 	perHour.SetBilling(model.PerHour)
-	if got := perHour.IndexBypassReason(); got == "" || !strings.Contains(got, "per-hour") {
-		t.Fatalf("per-hour reason = %q", got)
+	if got := perHour.IndexBypassReason(); got != "" {
+		t.Fatalf("per-hour engine reports bypass: %q", got)
+	}
+
+	uncertified := indexedEngine(t, galaxy.App{}, 1)
+	uncertified.SetBilling(model.Billing(7))
+	if got := uncertified.IndexBypassReason(); got == "" || !strings.Contains(got, "not certified") {
+		t.Fatalf("uncertified-billing reason = %q", got)
 	}
 
 	active := indexedEngine(t, galaxy.App{}, 1)

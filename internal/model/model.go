@@ -147,6 +147,31 @@ func (b Billing) String() string {
 	}
 }
 
+// Indexable reports whether Bill is certified jointly monotone in
+// (t, unit) — cost never decreases when the duration or the unit cost
+// grows — as computed floats, not just reals. This is the property the
+// core frontier index's staircase argument needs: with it, domination
+// in the (capacity, unit cost) plane implies (time, cost) domination
+// for every demand, so the billing-independent staircase stays a valid
+// candidate superset and index answers match the scan bit for bit.
+//
+// PerSecond: fl(fl(unit/3600)·t) composes two correctly-rounded
+// monotone operations. PerHour: fl(t/3600) is monotone in t, math.Ceil
+// is monotone, the max(1, ·) minimum-charge clamp is monotone, and
+// fl(unit·h) is monotone in both factors for non-negative operands —
+// ceil flattens distinct durations onto the same quantum count but
+// never reorders them. A future policy must be certified here (and by
+// the per-billing trials in core's index property harness) before the
+// index will serve it; unknown values fall back to the exhaustive scan.
+func (b Billing) Indexable() bool {
+	switch b {
+	case PerSecond, PerHour:
+		return true
+	default:
+		return false
+	}
+}
+
 // Bill prices a duration at a unit cost under the policy.
 func Bill(t units.Seconds, unit units.USDPerHour, b Billing) units.USD {
 	switch b {

@@ -205,6 +205,47 @@ func TestBillPerHourCeils(t *testing.T) {
 	}
 }
 
+func TestBillPerHourULPBoundaries(t *testing.T) {
+	// The hour-boundary fidelity sentinel. Bill's per-hour path divides
+	// the duration by 3600 before ceiling, and that division must not
+	// erase one-ulp distinctions around exact hour multiples: at
+	// t = 7200 s, ulp(7200) = 2^-40, and dividing by 3600 < 2^12 shrinks
+	// it by < 2^12, so the quotient moves by > 2^-52 — more than half an
+	// ulp of 2.0 — and rounds to a distinct float on each side of the
+	// boundary. One ulp below an exact N-hour mark must therefore bill
+	// N started hours, and one ulp above must bill N+1. If this test
+	// ever fails, the division lost boundary fidelity (e.g. someone
+	// rescaled the quantum) and per-hour billing misquotes runs that
+	// land within rounding error of an hour multiple.
+	const rate = units.USDPerHour(2)
+	cases := []struct {
+		label string
+		t     units.Seconds
+		want  float64 // dollars at $2/h
+	}{
+		{"2h exact", units.FromHours(2), 4},
+		{"2h - 1ulp", units.Seconds(math.Nextafter(float64(units.FromHours(2)), 0)), 4},
+		{"2h + 1ulp", units.Seconds(math.Nextafter(float64(units.FromHours(2)), math.Inf(1))), 6},
+		{"1h exact", units.FromHours(1), 2},
+		{"1h - 1ulp", units.Seconds(math.Nextafter(float64(units.FromHours(1)), 0)), 2},
+		{"1h + 1ulp", units.Seconds(math.Nextafter(float64(units.FromHours(1)), math.Inf(1))), 4},
+	}
+	for _, c := range cases {
+		if got := Bill(c.t, rate, PerHour); float64(got) != c.want {
+			t.Errorf("%s: Bill(%v) = %v, want $%v", c.label, float64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestBillingIndexable(t *testing.T) {
+	if !PerSecond.Indexable() || !PerHour.Indexable() {
+		t.Fatal("certified policies report not indexable")
+	}
+	if Billing(7).Indexable() {
+		t.Fatal("unknown billing policy claims index certification")
+	}
+}
+
 func TestBillingString(t *testing.T) {
 	if PerSecond.String() != "per-second" || PerHour.String() != "per-hour" {
 		t.Fatal("billing names wrong")

@@ -5,11 +5,12 @@
 // picks one configuration per step so that total spend is minimal
 // among schedules with the fewest deadline misses.
 //
-// The search has two layers. Within a step, per-second reasoning is
-// demand-invariant, so the candidate configurations for every step
-// come from one shared core.FrontierIndex staircase (built once per
-// engine, reused across all steps and all requests) plus the explicit
-// all-idle configuration. Across steps, switching is not free — newly
+// The search has two layers. Within a step, domination in the
+// (capacity, unit-cost) plane is billing- and demand-invariant, so the
+// candidate configurations for every step come from one shared
+// core.FrontierIndex staircase (built once per engine, reused across
+// all steps, all requests, and both certified billing policies) plus
+// the explicit all-idle configuration. Across steps, switching is not free — newly
 // added nodes boot before contributing, and under per-hour billing a
 // released node still owes the remainder of its started hour — so a
 // dynamic program over (step, candidate) charges those switching costs
@@ -190,6 +191,14 @@ func SolveContext(ctx context.Context, eng *core.Engine, tr demand.Trace, pol Po
 		prev[i] = val{miss: 0, cost: 0}
 		reach[i] = i == idle // schedules start from idle
 	}
+	// The per-step accrual cu[j]·stepLen is invariant across timesteps;
+	// computing it once per candidate keeps the O(n·m²) sweep free of
+	// redundant float work without changing a single rounding (the same
+	// Over call, just hoisted).
+	accrues := make([]units.USD, m)
+	for j := 0; j < m; j++ {
+		accrues[j] = sc.cu[j].Over(sc.stepLen)
+	}
 	nextReach := make([]bool, m)
 	for t := 0; t < n; t++ {
 		if err := ctx.Err(); err != nil {
@@ -198,7 +207,7 @@ func SolveContext(ctx context.Context, eng *core.Engine, tr demand.Trace, pol Po
 		boundary := units.Seconds(float64(t)) * sc.stepLen
 		carrySec := sc.carrySeconds(boundary)
 		for j := 0; j < m; j++ {
-			accrue := sc.cu[j].Over(sc.stepLen)
+			accrue := accrues[j]
 			bestI := int32(unreached)
 			var best val
 			for i := 0; i < m; i++ {

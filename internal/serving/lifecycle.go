@@ -22,8 +22,8 @@ import (
 //   - restored: the artifact decoded, matched the engine's catalog
 //     fingerprint, and was installed — the app starts "built" and never
 //     pays the scan-speed build;
-//   - bypassed: the engine does not use the index (opted out or
-//     per-hour billing); no artifact is touched;
+//   - bypassed: the engine does not use the index (opted out or an
+//     uncertified billing policy); no artifact is touched;
 //   - degraded: the artifact was missing, unreadable, corrupt, or
 //     stale. The app serves from the exhaustive scan immediately and a
 //     background rebuild (panic-isolated) restores the index, then

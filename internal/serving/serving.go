@@ -102,8 +102,9 @@ type Config struct {
 	// DisableIndex keeps the mounted engines on the exhaustive scan
 	// instead of opting them into the frontier index. The zero value
 	// (index enabled) is right for production: answers are certified
-	// byte-identical, and only the first analytic query per engine pays
-	// the one-time build. Per-hour engines ignore the opt-in either way.
+	// byte-identical under every certified billing policy (per-second
+	// and per-hour), and only the first analytic query per engine pays
+	// the one-time build.
 	DisableIndex bool
 	// SnapshotDir holds frontier-index snapshots: LoadSnapshots restores
 	// from it, and successful background rebuilds re-save into it.
@@ -222,16 +223,37 @@ const (
 	// exhaustive scan. Declared, not silent: the serving.index.degraded
 	// gauge counts these apps and responses carry X-Index: degraded.
 	IndexDegraded IndexState = "degraded"
-	// IndexBypassed: the index is deliberately not in use for this
-	// engine (opted out, or per-hour billing breaks demand invariance).
+	// IndexBypassed: the index is not in use for this engine. The
+	// status's Cause distinguishes a deliberate opt-out ("config") from
+	// a billing policy the index is not certified for ("billing") and
+	// from a catalog that did not compress under the pair cap
+	// ("pair-cap") — the first is configuration, the other two are
+	// capability gaps worth alerting on.
 	IndexBypassed IndexState = "bypassed"
 )
 
 // IndexStatus pairs a state with the reason it was entered (empty for
-// the healthy states).
+// the healthy states). Cause is the machine-readable bypass label
+// ("config", "billing", or "pair-cap"), set only in the bypassed state.
 type IndexStatus struct {
 	State  IndexState `json:"state"`
 	Reason string     `json:"reason,omitempty"`
+	Cause  string     `json:"cause,omitempty"`
+}
+
+// bypassCauseLabel renders an engine's bypass cause for IndexStatus and
+// the X-Index header suffix.
+func bypassCauseLabel(c core.BypassCause) string {
+	switch c {
+	case core.BypassConfig:
+		return "config"
+	case core.BypassBilling:
+		return "billing"
+	case core.BypassPairCap:
+		return "pair-cap"
+	default:
+		return ""
+	}
 }
 
 // Frontdoor serves queries against a set of engines. Safe for
@@ -259,7 +281,7 @@ type Frontdoor struct {
 
 	requests, errors, rejected, coalesced, panics *telemetry.Counter
 	canceled                                      *telemetry.Counter
-	idxServed, idxBypass                          *telemetry.Counter
+	idxServed, idxBypass, idxBypassBilling        *telemetry.Counter
 	snapLoaded, snapRejected, snapSaved           *telemetry.Counter
 	inflight, queued                              *telemetry.Gauge
 	idxPairs, idxCandidates, idxBuildMS           *telemetry.Gauge
@@ -281,9 +303,9 @@ func AnalyticKind(kind string) bool {
 
 // indexBacked reports whether a leader compute of this kind actually
 // ran against the index. Per-query kinds need the engine's routed
-// index (per-second billing, opted in); a "schedule" solve reuses the
-// billing-independent staircase, so it is index-backed whenever that
-// build succeeded.
+// index (opted in, billing certified index-monotone); a "schedule"
+// solve reuses the billing-independent staircase, so it is
+// index-backed whenever that build succeeded.
 func indexBacked(kind string, eng *core.Engine) bool {
 	if kind == "schedule" {
 		return eng.FrontierBuilt()
@@ -314,6 +336,12 @@ func NewFrontdoor(engines map[string]*core.Engine, cfg Config) (*Frontdoor, erro
 		computeMS: cfg.Metrics.Histogram("serving.compute_ms"),
 		idxServed: cfg.Metrics.Counter("serving.index.served"),
 		idxBypass: cfg.Metrics.Counter("serving.index.bypass"),
+		// bypass counts every scan-backed analytic leader compute;
+		// bypass_billing additionally counts the subset forced off the
+		// index by an uncertified billing policy. A nonzero
+		// bypass_billing with DisableIndex unset is a capability gap,
+		// not a configuration choice — alert on it.
+		idxBypassBilling: cfg.Metrics.Counter("serving.index.bypass_billing"),
 		// Snapshot lifecycle counters: artifacts restored at startup,
 		// artifacts refused (corrupt/stale/unreadable), artifacts saved
 		// after a successful rebuild.
@@ -352,7 +380,11 @@ func NewFrontdoor(engines map[string]*core.Engine, cfg Config) (*Frontdoor, erro
 // installed (snapshot restore before mounting), pending otherwise.
 func initialStatus(e *core.Engine) IndexStatus {
 	if r := e.IndexBypassReason(); r != "" {
-		return IndexStatus{State: IndexBypassed, Reason: r}
+		return IndexStatus{
+			State:  IndexBypassed,
+			Reason: r,
+			Cause:  bypassCauseLabel(e.IndexBypassCause()),
+		}
 	}
 	if e.IndexBuilt() {
 		return IndexStatus{State: IndexBuilt}
@@ -517,6 +549,9 @@ func (f *Frontdoor) Do(ctx context.Context, q Query, compute func(context.Contex
 			f.noteIndexServed(q.App, eng)
 		} else {
 			f.idxBypass.Inc()
+			if eng.IndexBypassCause() == core.BypassBilling {
+				f.idxBypassBilling.Inc()
+			}
 		}
 	}
 	if err == nil && f.cache != nil {

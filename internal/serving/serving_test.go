@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/apps/galaxy"
 	"repro/internal/core"
+	"repro/internal/model"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -424,6 +425,58 @@ func TestFrontdoorIndexOptIn(t *testing.T) {
 	}
 	if offEng.IndexBuilt() {
 		t.Fatal("bypass accounting triggered an index build")
+	}
+}
+
+// TestFrontdoorBypassBillingSplit pins the bypass-cause taxonomy: an
+// engine forced off the index by an uncertified billing policy counts
+// in both serving.index.bypass and serving.index.bypass_billing and
+// reports cause "billing" in its /readyz status, while a config opt-out
+// counts only in the aggregate with cause "config".
+func TestFrontdoorBypassBillingSplit(t *testing.T) {
+	uncertified := core.NewPaperEngine(galaxy.App{})
+	uncertified.SetBilling(model.Billing(7))
+	f, err := NewFrontdoor(map[string]*core.Engine{"galaxy": uncertified}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := f.IndexStatusFor("galaxy")
+	if !ok || st.State != IndexBypassed || st.Cause != "billing" {
+		t.Fatalf("uncertified-billing status = %+v, want bypassed/billing", st)
+	}
+	stub := func(context.Context, *core.Engine) ([]byte, error) { return []byte("v"), nil }
+	if _, _, err := f.Do(context.Background(), Query{Kind: "mincost", App: "galaxy", DeadlineHours: 24}, stub); err != nil {
+		t.Fatal(err)
+	}
+	m := f.Metrics()
+	if got := m.Counter("serving.index.bypass").Value(); got != 1 {
+		t.Fatalf("serving.index.bypass = %d, want 1", got)
+	}
+	if got := m.Counter("serving.index.bypass_billing").Value(); got != 1 {
+		t.Fatalf("serving.index.bypass_billing = %d, want 1", got)
+	}
+
+	off := newTestFrontdoor(t, Config{DisableIndex: true})
+	if st, ok := off.IndexStatusFor("galaxy"); !ok || st.State != IndexBypassed || st.Cause != "config" {
+		t.Fatalf("opted-out status = %+v, want bypassed/config", st)
+	}
+	if _, _, err := off.Do(context.Background(), Query{Kind: "mincost", App: "galaxy", DeadlineHours: 24}, stub); err != nil {
+		t.Fatal(err)
+	}
+	if got := off.Metrics().Counter("serving.index.bypass_billing").Value(); got != 0 {
+		t.Fatalf("config opt-out counted as a billing bypass: %d", got)
+	}
+
+	// A per-hour engine is certified: it must NOT report a bypass at
+	// mount time.
+	perHour := core.NewPaperEngine(galaxy.App{})
+	perHour.SetBilling(model.PerHour)
+	fh, err := NewFrontdoor(map[string]*core.Engine{"galaxy": perHour}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := fh.IndexStatusFor("galaxy"); !ok || st.State != IndexPending {
+		t.Fatalf("per-hour engine status = %+v, want pending", st)
 	}
 }
 

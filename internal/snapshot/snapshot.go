@@ -40,7 +40,16 @@ import (
 
 // FormatVersion guards against silently loading an incompatible
 // artifact; bump it whenever the envelope or the core codec changes.
-const FormatVersion = 1
+//
+// Version history:
+//
+//	1: initial envelope.
+//	2: the index became billing-capable — per-hour engines now restore
+//	   and serve snapshots instead of bypassing them. The bytes are
+//	   unchanged, but version-1 artifacts predate the per-hour
+//	   certification and are refused rather than trusted under a
+//	   billing policy their build never covered.
+const FormatVersion = 2
 
 var magic = [8]byte{'C', 'E', 'L', 'I', 'A', 'I', 'D', 'X'}
 
